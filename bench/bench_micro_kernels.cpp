@@ -1,0 +1,148 @@
+// Wall-clock microbenchmarks of the functional kernels (google-benchmark).
+//
+// These measure this repository's actual C++ throughput (cells/s) for the
+// DP engines and the seeding stage — the substrate on which the modeled
+// GPU/CPU experiments run. Not a paper figure; useful for spotting
+// regressions in the hot loops.
+#include <benchmark/benchmark.h>
+
+#include "align/gotoh_reference.hpp"
+#include "align/ydrop_align.hpp"
+#include "fastz/inspector.hpp"
+#include "fastz/strip_kernel.hpp"
+#include "seed/seed_index.hpp"
+#include "sequence/genome_synth.hpp"
+
+namespace fastz {
+namespace {
+
+std::pair<Sequence, Sequence> homologous(std::size_t len, double identity,
+                                         std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Sequence a = random_sequence("a", len, rng);
+  MutationChannel channel;
+  auto codes = mutate_segment(a.codes(), identity, channel, rng);
+  return {std::move(a), Sequence("b", std::move(codes))};
+}
+
+void BM_YdropSequential(benchmark::State& state) {
+  auto [a, b] = homologous(static_cast<std::size_t>(state.range(0)), 0.8, 1);
+  const ScoreParams p = lastz_default_params();
+  OneSidedOptions opts;
+  opts.want_traceback = false;
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    const auto r = ydrop_one_sided_align(a.codes(), b.codes(), p, opts);
+    cells += r.cells;
+    benchmark::DoNotOptimize(r.best.score);
+  }
+  state.counters["cells/s"] = benchmark::Counter(static_cast<double>(cells),
+                                                 benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_YdropSequential)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_YdropConservative(benchmark::State& state) {
+  auto [a, b] = homologous(static_cast<std::size_t>(state.range(0)), 0.8, 2);
+  const ScoreParams p = lastz_default_params();
+  OneSidedOptions opts;
+  opts.want_traceback = false;
+  opts.prune = PruneMode::kConservative;
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    const auto r = ydrop_one_sided_align(a.codes(), b.codes(), p, opts);
+    cells += r.cells;
+    benchmark::DoNotOptimize(r.best.score);
+  }
+  state.counters["cells/s"] = benchmark::Counter(static_cast<double>(cells),
+                                                 benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_YdropConservative)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_YdropWithTraceback(benchmark::State& state) {
+  auto [a, b] = homologous(static_cast<std::size_t>(state.range(0)), 0.8, 3);
+  const ScoreParams p = lastz_default_params();
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    const auto r = ydrop_one_sided_align(a.codes(), b.codes(), p);
+    cells += r.cells;
+    benchmark::DoNotOptimize(r.ops.size());
+  }
+  state.counters["cells/s"] = benchmark::Counter(static_cast<double>(cells),
+                                                 benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_YdropWithTraceback)->Arg(512)->Arg(2048);
+
+void BM_StripKernel(benchmark::State& state) {
+  auto [a, b] = homologous(static_cast<std::size_t>(state.range(0)), 0.8, 4);
+  const ScoreParams p = lastz_default_params();
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    const auto r = strip_rectangle_dp(SeqView(a.codes().data(), 1, a.size()),
+                                      SeqView(b.codes().data(), 1, b.size()), p, false);
+    cells += r.cells;
+    benchmark::DoNotOptimize(r.best.score);
+  }
+  state.counters["cells/s"] = benchmark::Counter(static_cast<double>(cells),
+                                                 benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StripKernel)->Arg(256)->Arg(1024);
+
+void BM_ReferenceGotoh(benchmark::State& state) {
+  auto [a, b] = homologous(static_cast<std::size_t>(state.range(0)), 0.8, 5);
+  const ScoreParams p = lastz_default_params();
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    const auto r = reference_extend(a.codes(), b.codes(), p);
+    cells += r.cells;
+    benchmark::DoNotOptimize(r.best.score);
+  }
+  state.counters["cells/s"] = benchmark::Counter(static_cast<double>(cells),
+                                                 benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReferenceGotoh)->Arg(256)->Arg(512);
+
+void BM_SeedIndexBuild(benchmark::State& state) {
+  Xoshiro256 rng(6);
+  const Sequence target =
+      random_sequence("t", static_cast<std::size_t>(state.range(0)), rng);
+  const SpacedSeed seed = SpacedSeed::lastz_default();
+  for (auto _ : state) {
+    SeedIndex index(target, seed);
+    benchmark::DoNotOptimize(index.indexed_positions());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SeedIndexBuild)->Arg(100000)->Arg(400000);
+
+void BM_SeedHitEnumeration(benchmark::State& state) {
+  Xoshiro256 rng(7);
+  const Sequence target =
+      random_sequence("t", static_cast<std::size_t>(state.range(0)), rng);
+  const Sequence query =
+      random_sequence("q", static_cast<std::size_t>(state.range(0)), rng);
+  const SeedIndex index(target, SpacedSeed::lastz_default());
+  for (auto _ : state) {
+    const auto hits = index.find_hits(query);
+    benchmark::DoNotOptimize(hits.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SeedHitEnumeration)->Arg(100000)->Arg(400000);
+
+void BM_InspectSeed(benchmark::State& state) {
+  // One unrelated-background seed inspection (the common case).
+  Xoshiro256 rng(8);
+  Sequence a = random_sequence("a", 20000, rng);
+  Sequence b = random_sequence("b", 20000, rng);
+  ScoreParams p = lastz_default_params();
+  p.ydrop = static_cast<Score>(state.range(0));
+  const SeedHit hit{10000, 10000};
+  for (auto _ : state) {
+    const auto ins = inspect_seed(a, b, hit, 19, p, FastzConfig::full());
+    benchmark::DoNotOptimize(ins.score);
+  }
+}
+BENCHMARK(BM_InspectSeed)->Arg(2000)->Arg(9400);
+
+}  // namespace
+}  // namespace fastz

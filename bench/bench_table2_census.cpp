@@ -1,0 +1,47 @@
+// Table 2 — alignment-length distribution of the seed census.
+//
+// Paper: per 1M seeds, 75-80% finish in the eager-traceback tile (<=16 bp),
+// the vast majority of the rest fall in bin 1 (<=512 bp), and bins 2-4
+// shrink rapidly (tens to a handful), with nematodes > mosquitoes > fruit
+// flies in the long tail.
+#include <iostream>
+
+#include "report/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace fastz;
+
+int main(int argc, char** argv) {
+  CliParser cli("Table 2 — alignment-length census per benchmark "
+                "(eager tile + load-balancing bins).");
+  add_harness_flags(cli);
+  cli.add_flag("csv", "emit CSV instead of an aligned table", "0");
+  if (!cli.parse(argc, argv)) return 0;
+  const bool csv = cli.get_bool("csv");
+  const HarnessOptions options = harness_options_from(cli);
+  const ScoreParams params = harness_score_params(options);
+
+  const std::vector<PreparedPair> prepared =
+      prepare_pairs(same_genus_pairs(options.scale), params, options);
+
+  std::cout << "=== Table 2: alignment length distribution ===\n";
+  TextTable t({"Benchmark", "Seeds", "Eager (<=16)", "Bin1 (<=512)", "Bin2 (<=2048)",
+               "Bin3 (<=8192)", "Bin4 (<=32768)", "Eager %"});
+  for (const PreparedPair& pair : prepared) {
+    const BinCensus c = pair.study->census();
+    t.add_row({pair.spec.label, TextTable::num(c.total), TextTable::num(c.eager),
+               TextTable::num(c.bins[0]), TextTable::num(c.bins[1]),
+               TextTable::num(c.bins[2]), TextTable::num(c.bins[3] + c.overflow),
+               TextTable::num(c.eager_fraction() * 100, 1) + "%"});
+  }
+  t.render(std::cout, csv);
+
+  std::cout << "\nPaper's shape to compare (per 1M seeds): eager 75-80%, bin1 "
+               "~18-24%, bin2 13-1225, bin3 1-208, bin4 0-25; nematode pairs "
+               "carry the largest bin-4 counts, the fruit-fly pair nearly "
+               "none.\nNote: our synthetic pairs compress the census's dynamic "
+               "range (see EXPERIMENTS.md) — the ordering and monotone decay "
+               "are the reproduction targets.\n";
+  return 0;
+}

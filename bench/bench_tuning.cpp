@@ -1,0 +1,104 @@
+// Design-choice ablations DESIGN.md calls out: the eager-tile side, the
+// bin-boundary scaling factor, and the inspector chunk size.
+//
+// Paper anchors: the 16x16 tile catches >80% of seeds at negligible cost
+// (Section 3.1.2); the four bins use a 4x scaling factor "but one could add
+// bins using a similar 4x scaling factor if needed" (Section 3.3); the
+// inspector is chunked across 32 streams (Section 3.4). This bench sweeps
+// each knob with the others at their defaults and reports modeled Ampere
+// time plus the knob's governing statistic.
+#include <iostream>
+
+#include "report/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace fastz;
+
+int main(int argc, char** argv) {
+  CliParser cli("Tuning sweeps: eager tile size, bin scaling, inspector "
+                "chunk size.");
+  add_harness_flags(cli);
+  cli.add_flag("pair", "benchmark pair label", "C1_1,1");
+  if (!cli.parse(argc, argv)) return 0;
+  HarnessOptions options = harness_options_from(cli);
+  const ScoreParams params = harness_score_params(options);
+
+  std::vector<BenchmarkPair> specs = {find_pair(cli.get("pair"), options.scale)};
+  const std::vector<PreparedPair> prepared = prepare_pairs(specs, params, options);
+  const FastzStudy& study = *prepared.front().study;
+  const auto device = default_devices().ampere;
+  const double t_seq = modeled_sequential_s(study);
+
+  std::cout << "=== Eager tile size (paper: 16) ===\n";
+  {
+    TextTable t({"Tile", "Eager seeds", "Executor tasks", "Ampere time (ms)",
+                 "Speedup"});
+    for (std::uint32_t tile : {4u, 8u, 16u, 32u, 64u}) {
+      FastzConfig config = FastzConfig::full();
+      config.eager_tile = tile;
+      const FastzRun run = study.derive(config, device);
+      t.add_row({TextTable::num(std::uint64_t{tile}), TextTable::num(run.eager_handled),
+                 TextTable::num(run.executor_tasks),
+                 TextTable::num(run.modeled.total_s() * 1e3, 3),
+                 TextTable::num(t_seq / run.modeled.total_s(), 1) + "x"});
+    }
+    t.render(std::cout);
+    std::cout << "Reading: beyond ~16 the extra tile state buys few seeds — "
+                 "the alignment-length distribution is already eager-saturated "
+                 "(and a larger tile would no longer fit shared memory per "
+                 "warp).\n\n";
+  }
+
+  std::cout << "=== Bin-boundary scaling (paper: 512 x 4^k) ===\n";
+  {
+    TextTable t({"Edges", "Bin counts (1/2/3/4+ovf)", "Ampere time (ms)", "Speedup"});
+    struct EdgeSet {
+      const char* name;
+      std::array<std::uint32_t, 4> edges;
+    };
+    for (const EdgeSet& e : std::initializer_list<EdgeSet>{
+             {"256 x2 (256,512,1024,2048)", {256, 512, 1024, 2048}},
+             {"512 x2 (512,1024,2048,4096)", {512, 1024, 2048, 4096}},
+             {"512 x4 (paper)", {512, 2048, 8192, 32768}},
+             {"512 x8 (512,4096,32768,262144)", {512, 4096, 32768, 262144}},
+         }) {
+      FastzConfig config = FastzConfig::full();
+      config.bin_edges = e.edges;
+      const FastzRun run = study.derive(config, device);
+      t.add_row({e.name,
+                 TextTable::num(run.census.bins[0]) + "/" +
+                     TextTable::num(run.census.bins[1]) + "/" +
+                     TextTable::num(run.census.bins[2]) + "/" +
+                     TextTable::num(run.census.bins[3] + run.census.overflow),
+                 TextTable::num(run.modeled.total_s() * 1e3, 3),
+                 TextTable::num(t_seq / run.modeled.total_s(), 1) + "x"});
+    }
+    t.render(std::cout);
+    std::cout << "Reading: with per-bin kernels and streams the exact edges "
+                 "matter little as long as long alignments never share a "
+                 "kernel with short ones; too-narrow top bins overflow.\n\n";
+  }
+
+  std::cout << "=== Inspector chunk size (seeds per kernel launch) ===\n";
+  {
+    TextTable t({"Chunk", "Streams", "Ampere time (ms)", "Speedup"});
+    for (std::uint32_t chunk : {128u, 512u, 1024u, 4096u, 16384u}) {
+      for (std::uint32_t streams : {1u, 32u}) {
+        FastzConfig config = FastzConfig::full();
+        config.inspector_chunk = chunk;
+        config.streams = streams;
+        const FastzRun run = study.derive(config, device);
+        t.add_row({TextTable::num(std::uint64_t{chunk}),
+                   TextTable::num(std::uint64_t{streams}),
+                   TextTable::num(run.modeled.total_s() * 1e3, 3),
+                   TextTable::num(t_seq / run.modeled.total_s(), 1) + "x"});
+      }
+    }
+    t.render(std::cout);
+    std::cout << "Reading: small chunks on one stream serialize many "
+                 "bulk-synchronous tails; streams recover the loss by "
+                 "overlapping chunks (Section 3.4).\n";
+  }
+  return 0;
+}

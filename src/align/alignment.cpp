@@ -1,0 +1,126 @@
+#include "align/alignment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fastz {
+
+char op_char(AlignOp op) noexcept {
+  switch (op) {
+    case AlignOp::Match: return 'M';
+    case AlignOp::Insert: return 'I';
+    case AlignOp::Delete: return 'D';
+  }
+  return '?';
+}
+
+std::uint64_t Alignment::span() const noexcept {
+  return std::max(a_end - a_begin, b_end - b_begin);
+}
+
+std::string Alignment::cigar() const {
+  std::string out;
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    std::size_t j = i;
+    while (j < ops.size() && ops[j] == ops[i]) ++j;
+    out += std::to_string(j - i);
+    out += op_char(ops[i]);
+    i = j;
+  }
+  return out;
+}
+
+double Alignment::identity(const Sequence& a, const Sequence& b) const {
+  std::uint64_t ai = a_begin;
+  std::uint64_t bi = b_begin;
+  std::uint64_t matches = 0;
+  std::uint64_t columns = 0;
+  for (AlignOp op : ops) {
+    switch (op) {
+      case AlignOp::Match:
+        matches += (a[ai] == b[bi]) ? 1 : 0;
+        ++columns;
+        ++ai, ++bi;
+        break;
+      case AlignOp::Insert:
+        ++bi;
+        break;
+      case AlignOp::Delete:
+        ++ai;
+        break;
+    }
+  }
+  return columns ? static_cast<double>(matches) / static_cast<double>(columns) : 0.0;
+}
+
+Score rescore_alignment(const Alignment& aln, const Sequence& a, const Sequence& b,
+                        const ScoreParams& params) {
+  std::uint64_t ai = aln.a_begin;
+  std::uint64_t bi = aln.b_begin;
+  Score score = 0;
+  AlignOp prev = AlignOp::Match;
+  bool first = true;
+  for (AlignOp op : aln.ops) {
+    switch (op) {
+      case AlignOp::Match:
+        if (ai >= a.size() || bi >= b.size()) {
+          throw std::invalid_argument("rescore_alignment: ops exceed sequence");
+        }
+        score += params.substitution(a[ai], b[bi]);
+        ++ai, ++bi;
+        break;
+      case AlignOp::Insert:
+        if (bi >= b.size()) throw std::invalid_argument("rescore_alignment: ops exceed B");
+        score += params.gap_extend;
+        if (first || prev != AlignOp::Insert) score += params.gap_open;
+        ++bi;
+        break;
+      case AlignOp::Delete:
+        if (ai >= a.size()) throw std::invalid_argument("rescore_alignment: ops exceed A");
+        score += params.gap_extend;
+        if (first || prev != AlignOp::Delete) score += params.gap_open;
+        ++ai;
+        break;
+    }
+    prev = op;
+    first = false;
+  }
+  if (ai != aln.a_end || bi != aln.b_end) {
+    throw std::invalid_argument("rescore_alignment: ops do not reach recorded end");
+  }
+  return score;
+}
+
+std::vector<AlignOp> ops_from_cigar(std::string_view cigar) {
+  std::vector<AlignOp> ops;
+  std::size_t i = 0;
+  while (i < cigar.size()) {
+    std::size_t run = 0;
+    const std::size_t digits_start = i;
+    while (i < cigar.size() && cigar[i] >= '0' && cigar[i] <= '9') {
+      run = run * 10 + static_cast<std::size_t>(cigar[i] - '0');
+      ++i;
+    }
+    if (i == digits_start || run == 0) {
+      throw std::invalid_argument("ops_from_cigar: missing or zero run length");
+    }
+    if (i >= cigar.size()) {
+      throw std::invalid_argument("ops_from_cigar: trailing digits without op");
+    }
+    AlignOp op;
+    switch (cigar[i]) {
+      case 'M': op = AlignOp::Match; break;
+      case 'I': op = AlignOp::Insert; break;
+      case 'D': op = AlignOp::Delete; break;
+      default:
+        throw std::invalid_argument(std::string("ops_from_cigar: unknown op '") +
+                                    cigar[i] + "'");
+    }
+    ++i;
+    ops.insert(ops.end(), run, op);
+  }
+  return ops;
+}
+
+}  // namespace fastz

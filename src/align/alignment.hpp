@@ -1,0 +1,57 @@
+// Alignment records: edit operations, coordinates, scores.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "score/score_params.hpp"
+#include "sequence/sequence.hpp"
+
+namespace fastz {
+
+// Edit operations in target(A)/query(B) space.
+//   Match: consume one base of A and one of B (match or substitution).
+//   Insert: gap in A — consume one base of B only (the `I` matrix).
+//   Delete: gap in B — consume one base of A only (the `D` matrix).
+enum class AlignOp : std::uint8_t { Match = 0, Insert = 1, Delete = 2 };
+
+char op_char(AlignOp op) noexcept;  // 'M', 'I', 'D'
+
+// A gapped local alignment between A[a_begin, a_end) and B[b_begin, b_end).
+struct Alignment {
+  std::uint64_t a_begin = 0;
+  std::uint64_t a_end = 0;
+  std::uint64_t b_begin = 0;
+  std::uint64_t b_end = 0;
+  Score score = 0;
+  std::vector<AlignOp> ops;  // in forward order (A/B coordinates ascending)
+
+  // Alignment length in columns (number of ops), the quantity the paper's
+  // length census (Table 2) bins.
+  std::uint64_t length() const noexcept { return ops.size(); }
+
+  // Longest of the two sequence spans (used for bin classification).
+  std::uint64_t span() const noexcept;
+
+  // Run-length encoded CIGAR string, e.g. "120M2D48M".
+  std::string cigar() const;
+
+  // Fraction of Match columns whose bases are equal; requires sequences.
+  double identity(const Sequence& a, const Sequence& b) const;
+};
+
+// Recomputes the score of an alignment from its ops (validation helper):
+// walks the ops, charging substitution scores and affine gap penalties.
+// Throws std::invalid_argument if the ops walk outside the recorded
+// coordinates or do not end exactly at (a_end, b_end).
+Score rescore_alignment(const Alignment& aln, const Sequence& a, const Sequence& b,
+                        const ScoreParams& params);
+
+// Parses a run-length CIGAR string ("120M2D48M") back into ops — the
+// inverse of Alignment::cigar(). Throws std::invalid_argument on malformed
+// input (zero-length runs, unknown op letters, trailing digits).
+std::vector<AlignOp> ops_from_cigar(std::string_view cigar);
+
+}  // namespace fastz

@@ -1,0 +1,164 @@
+#include "align/banded_align.hpp"
+
+#include <algorithm>
+
+namespace fastz {
+
+namespace {
+
+constexpr Score add_score(Score base, Score delta) noexcept {
+  return base <= kNegativeInfinity ? kNegativeInfinity : base + delta;
+}
+
+// One band row stored densely over [lo, lo + width).
+struct BandRow {
+  std::uint32_t lo = 0;
+  std::vector<Score> s;
+  std::vector<Score> gi;
+  std::vector<Score> gd;
+
+  Score s_at(std::uint32_t j) const noexcept {
+    return (j >= lo && j - lo < s.size()) ? s[j - lo] : kNegativeInfinity;
+  }
+  Score gi_at(std::uint32_t j) const noexcept {
+    return (j >= lo && j - lo < gi.size()) ? gi[j - lo] : kNegativeInfinity;
+  }
+  Score gd_at(std::uint32_t j) const noexcept {
+    return (j >= lo && j - lo < gd.size()) ? gd[j - lo] : kNegativeInfinity;
+  }
+};
+
+struct BandTraceRow {
+  std::uint32_t lo = 0;
+  std::vector<TraceCode> codes;
+};
+
+}  // namespace
+
+OneSidedResult banded_one_sided_align(SeqView a, SeqView b, const ScoreParams& params,
+                                      const BandedOptions& options) {
+  params.validate();
+  OneSidedResult result;
+  result.best = BestCell{0, 0, 0};
+
+  const auto n = static_cast<std::uint32_t>(b.size());
+  const auto m = static_cast<std::uint32_t>(std::min<std::size_t>(a.size(), options.max_rows));
+  result.truncated = m < a.size();
+  const std::uint32_t w = options.half_width;
+
+  std::vector<BandTraceRow> trace;
+  const bool keep_trace = options.want_traceback;
+
+  // Row 0: insertion run, bounded by the band (j <= half_width).
+  BandRow prev;
+  prev.lo = 0;
+  prev.s.push_back(0);
+  prev.gi.push_back(kNegativeInfinity);
+  prev.gd.push_back(kNegativeInfinity);
+  if (keep_trace) trace.push_back({0, {make_trace(kTraceSrcOrigin, false, false)}});
+  for (std::uint32_t j = 1; j <= std::min(n, w); ++j) {
+    const Score gi = params.gap_open + static_cast<Score>(j) * params.gap_extend;
+    if (gi < -params.ydrop) break;
+    prev.s.push_back(gi);
+    prev.gi.push_back(gi);
+    prev.gd.push_back(kNegativeInfinity);
+    if (keep_trace) trace[0].codes.push_back(make_trace(kTraceSrcI, j == 1, false));
+  }
+  result.cells += prev.s.size();
+
+  BandRow cur;
+  BandTraceRow trow;
+  for (std::uint32_t row = 1; row <= m; ++row) {
+    // Band limits for this row.
+    const std::uint32_t band_lo = row > w ? row - w : 0;
+    const std::uint32_t band_hi = std::min<std::uint64_t>(n, std::uint64_t{row} + w);
+    if (band_lo > n) break;
+
+    cur.lo = band_lo;
+    cur.s.clear();
+    cur.gi.clear();
+    cur.gd.clear();
+    trow.lo = band_lo;
+    trow.codes.clear();
+
+    const Score cutoff = result.best.score - params.ydrop;
+    bool any_viable = false;
+    const BaseCode a_base = a[row - 1];
+
+    for (std::uint32_t j = band_lo; j <= band_hi; ++j) {
+      Score i_val, d_val, s_val;
+      TraceCode code;
+      if (j == 0) {
+        d_val = params.gap_open + static_cast<Score>(row) * params.gap_extend;
+        i_val = kNegativeInfinity;
+        s_val = d_val;
+        code = make_trace(kTraceSrcD, false, row == 1);
+      } else {
+        const bool have_left = j > band_lo && !cur.s.empty();
+        const Score s_left = have_left ? cur.s.back() : kNegativeInfinity;
+        const Score i_left = have_left ? cur.gi.back() : kNegativeInfinity;
+
+        const Score i_ext = add_score(i_left, params.gap_extend);
+        const Score i_open = add_score(s_left, params.gap_open + params.gap_extend);
+        const bool i_opened = i_open >= i_ext;
+        i_val = i_opened ? i_open : i_ext;
+
+        const Score d_ext = add_score(prev.gd_at(j), params.gap_extend);
+        const Score d_open = add_score(prev.s_at(j), params.gap_open + params.gap_extend);
+        const bool d_opened = d_open >= d_ext;
+        d_val = d_opened ? d_open : d_ext;
+
+        const Score diag =
+            add_score(prev.s_at(j - 1), params.substitution(a_base, b[j - 1]));
+        s_val = diag;
+        TraceCode s_src = kTraceSrcDiag;
+        if (i_val > s_val) {
+          s_val = i_val;
+          s_src = kTraceSrcI;
+        }
+        if (d_val > s_val) {
+          s_val = d_val;
+          s_src = kTraceSrcD;
+        }
+        code = make_trace(s_src, i_opened, d_opened);
+      }
+      ++result.cells;
+
+      const bool viable = s_val > kNegativeInfinity && s_val >= cutoff;
+      if (viable) {
+        cur.s.push_back(s_val);
+        cur.gi.push_back(i_val);
+        cur.gd.push_back(d_val);
+        result.best.consider(s_val, row, j);
+        any_viable = true;
+      } else {
+        cur.s.push_back(kNegativeInfinity);
+        cur.gi.push_back(kNegativeInfinity);
+        cur.gd.push_back(kNegativeInfinity);
+      }
+      if (keep_trace) trow.codes.push_back(code);
+    }
+
+    if (!any_viable) break;
+    std::swap(prev, cur);
+    if (keep_trace) trace.push_back(trow);
+    result.rows_explored = row;
+    result.max_row_width =
+        std::max<std::uint32_t>(result.max_row_width, band_hi - band_lo + 1);
+  }
+
+  if (keep_trace) {
+    result.ops = walk_traceback(result.best.i, result.best.j,
+                                [&](std::uint32_t i, std::uint32_t j) -> TraceCode {
+                                  const BandTraceRow& r = trace.at(i);
+                                  if (j < r.lo || j - r.lo >= r.codes.size()) {
+                                    throw std::runtime_error(
+                                        "banded_one_sided_align: traceback escaped band");
+                                  }
+                                  return r.codes[j - r.lo];
+                                });
+  }
+  return result;
+}
+
+}  // namespace fastz

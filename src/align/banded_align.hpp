@@ -1,0 +1,45 @@
+// Banded Smith-Waterman extension — the Darwin-WGA heuristic FastZ rejects.
+//
+// Darwin-WGA (and its predecessor Darwin) bound the gapped-extension search
+// to a fixed-width band around the main diagonal (Sections 2.1 and 2.3 of
+// the paper): insertions and deletions that would stray outside the band
+// are simply not considered. That caps the work per extension at
+// band_width x length cells, but "the optimal solution may not always be
+// found within the band" — an alignment whose indel imbalance exceeds the
+// half-width is truncated or mis-scored. FastZ deliberately keeps LASTZ's
+// exact y-drop semantics instead; this module exists to quantify that
+// trade-off (bench_banded_comparison) and as a second oracle for tests.
+//
+// Semantics: same prefix-anchored extension as `ydrop_one_sided_align`, but
+// a cell (i, j) is computed only when |i - j| <= half_width. Y-drop pruning
+// still applies inside the band.
+#pragma once
+
+#include <cstdint>
+
+#include "align/ydrop_align.hpp"
+
+namespace fastz {
+
+struct BandedOptions {
+  // Maximum |i - j| explored. Darwin-WGA's filtering stage uses a narrow
+  // fixed band; 64 is a representative half-width.
+  std::uint32_t half_width = 64;
+  bool want_traceback = true;
+  std::uint32_t max_rows = 49152;
+};
+
+// Banded extension of A[0..) x B[0..) anchored at (0, 0). Returns the same
+// result shape as the exact engine so comparisons are direct.
+OneSidedResult banded_one_sided_align(SeqView a, SeqView b, const ScoreParams& params,
+                                      const BandedOptions& options = {});
+
+inline OneSidedResult banded_one_sided_align(std::span<const BaseCode> a,
+                                             std::span<const BaseCode> b,
+                                             const ScoreParams& params,
+                                             const BandedOptions& options = {}) {
+  return banded_one_sided_align(SeqView(a.data(), 1, a.size()),
+                                SeqView(b.data(), 1, b.size()), params, options);
+}
+
+}  // namespace fastz

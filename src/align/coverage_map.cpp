@@ -1,0 +1,40 @@
+#include "align/coverage_map.hpp"
+
+#include <algorithm>
+
+namespace fastz {
+
+void CoverageMap::add(const Alignment& aln) {
+  Rect rect{aln.a_begin, aln.a_end, aln.b_begin, aln.b_end};
+  const auto it = std::lower_bound(
+      rects_.begin(), rects_.end(), rect,
+      [](const Rect& x, const Rect& y) { return x.a_begin < y.a_begin; });
+  const auto index = static_cast<std::size_t>(it - rects_.begin());
+  rects_.insert(it, rect);
+
+  // Rebuild the prefix maxima from the insertion point.
+  prefix_max_a_end_.resize(rects_.size());
+  for (std::size_t k = (index == 0 ? 0 : index); k < rects_.size(); ++k) {
+    const std::uint64_t prev = k == 0 ? 0 : prefix_max_a_end_[k - 1];
+    prefix_max_a_end_[k] = std::max(prev, rects_[k].a_end);
+  }
+}
+
+bool CoverageMap::covers(std::uint64_t a_pos, std::uint64_t b_pos) const {
+  if (rects_.empty()) return false;
+  // Candidates: rects with a_begin <= a_pos. Walk backwards; stop once the
+  // prefix maximum of a_end can no longer reach a_pos.
+  auto it = std::upper_bound(
+      rects_.begin(), rects_.end(), a_pos,
+      [](std::uint64_t pos, const Rect& r) { return pos < r.a_begin; });
+  while (it != rects_.begin()) {
+    const auto index = static_cast<std::size_t>(it - rects_.begin()) - 1;
+    if (prefix_max_a_end_[index] <= a_pos) break;  // nothing earlier reaches
+    const Rect& r = rects_[index];
+    if (r.a_end > a_pos && r.b_begin <= b_pos && b_pos < r.b_end) return true;
+    --it;
+  }
+  return false;
+}
+
+}  // namespace fastz

@@ -1,0 +1,44 @@
+// Coverage bookkeeping for LASTZ's sequential work reduction.
+//
+// Section 2.1 of the paper: "LASTZ terminates an ongoing seed extension
+// upon reaching a previously-discovered alignment because it is not
+// profitable to combine the prior and current alignments". The practical
+// effect is that seeds landing inside an already-reported alignment's
+// footprint do not redo its DP. This optimization fundamentally relies on
+// sequential order — FastZ (like Darwin-WGA) forgoes it (Section 3.4) —
+// which is why a parallel implementation explores a superset of cells.
+//
+// CoverageMap records reported alignment rectangles and answers "is this
+// anchor inside a prior alignment" queries. Rectangles are kept sorted by
+// A-begin; queries binary-search the candidates whose A-interval can cover
+// the point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "align/alignment.hpp"
+
+namespace fastz {
+
+class CoverageMap {
+ public:
+  void add(const Alignment& aln);
+
+  // True if (a_pos, b_pos) lies inside a recorded rectangle.
+  bool covers(std::uint64_t a_pos, std::uint64_t b_pos) const;
+
+  std::size_t size() const noexcept { return rects_.size(); }
+
+ private:
+  struct Rect {
+    std::uint64_t a_begin, a_end, b_begin, b_end;
+  };
+
+  // Sorted by a_begin; `max_a_end_` is a running prefix maximum of a_end
+  // enabling early exit in queries.
+  std::vector<Rect> rects_;
+  std::vector<std::uint64_t> prefix_max_a_end_;
+};
+
+}  // namespace fastz

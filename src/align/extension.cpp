@@ -1,0 +1,42 @@
+#include "align/extension.hpp"
+
+#include <algorithm>
+
+namespace fastz {
+
+GappedExtension extend_seed(const Sequence& a, const Sequence& b, const SeedHit& hit,
+                            std::size_t seed_span, const ScoreParams& params,
+                            const OneSidedOptions& options) {
+  GappedExtension ext;
+  ext.anchor_a = hit.a_pos + seed_span / 2;
+  ext.anchor_b = hit.b_pos + seed_span / 2;
+
+  const auto a_codes = a.codes();
+  const auto b_codes = b.codes();
+
+  ext.left = ydrop_one_sided_align(reverse_view(a_codes, ext.anchor_a),
+                                   reverse_view(b_codes, ext.anchor_b), params, options);
+  ext.right = ydrop_one_sided_align(
+      forward_view(a_codes, ext.anchor_a, a.size()),
+      forward_view(b_codes, ext.anchor_b, b.size()), params, options);
+
+  Alignment& aln = ext.alignment;
+  aln.score = ext.left.best.score + ext.right.best.score;
+  aln.a_begin = ext.anchor_a - ext.left.best.i;
+  aln.b_begin = ext.anchor_b - ext.left.best.j;
+  aln.a_end = ext.anchor_a + ext.right.best.i;
+  aln.b_end = ext.anchor_b + ext.right.best.j;
+
+  if (options.want_traceback) {
+    // Left ops are in reversed-coordinate order (anchor outward); flipping
+    // them yields the genome-forward path ending at the anchor.
+    aln.ops.reserve(ext.left.ops.size() + ext.right.ops.size());
+    aln.ops.assign(ext.left.ops.rbegin(), ext.left.ops.rend());
+    aln.ops.insert(aln.ops.end(), ext.right.ops.begin(), ext.right.ops.end());
+    ext.left.ops.clear();
+    ext.right.ops.clear();
+  }
+  return ext;
+}
+
+}  // namespace fastz

@@ -1,0 +1,47 @@
+// Two-sided gapped seed extension.
+//
+// LASTZ extends each seed in two independent one-sided DP problems — left
+// over the reversed prefixes and right over the suffixes, both anchored at
+// the seed midpoint — and combines them into the final alignment
+// (Section 3.1.2 of the paper). The combined score decides whether the
+// alignment clears the reporting threshold, which is why even a very short
+// left (or right) side cannot be discarded a priori.
+#pragma once
+
+#include <cstdint>
+
+#include "align/alignment.hpp"
+#include "align/ydrop_align.hpp"
+#include "seed/seed_index.hpp"
+#include "sequence/sequence.hpp"
+
+namespace fastz {
+
+struct GappedExtension {
+  Alignment alignment;    // global A/B coordinates; ops populated when traced
+  OneSidedResult left;    // per-side DP results (ops cleared after combining)
+  OneSidedResult right;
+  std::uint64_t anchor_a = 0;
+  std::uint64_t anchor_b = 0;
+
+  // Extent of the optimal alignment along each sequence (left + right).
+  std::uint64_t a_extent() const noexcept {
+    return std::uint64_t{left.best.i} + right.best.i;
+  }
+  std::uint64_t b_extent() const noexcept {
+    return std::uint64_t{left.best.j} + right.best.j;
+  }
+  // The square box side that contains the optimal alignment — the quantity
+  // the paper bins by (Section 3.3: "an optimal alignment found at DP
+  // matrix cell (i, j) is placed in the smallest bin which contains it").
+  std::uint64_t box() const noexcept { return std::max(a_extent(), b_extent()); }
+  std::uint64_t total_cells() const noexcept { return left.cells + right.cells; }
+};
+
+// Extends `hit` on both sides from the seed midpoint anchor. When
+// `options.want_traceback` is set, `alignment.ops` holds the combined path.
+GappedExtension extend_seed(const Sequence& a, const Sequence& b, const SeedHit& hit,
+                            std::size_t seed_span, const ScoreParams& params,
+                            const OneSidedOptions& options = {});
+
+}  // namespace fastz

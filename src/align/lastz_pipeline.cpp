@@ -1,0 +1,88 @@
+#include "align/lastz_pipeline.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "align/coverage_map.hpp"
+#include "seed/chaining.hpp"
+#include "seed/ungapped_filter.hpp"
+#include "util/timer.hpp"
+
+namespace fastz {
+
+std::vector<SeedHit> enumerate_seeds(const Sequence& a, const Sequence& b,
+                                     const PipelineOptions& options) {
+  const SpacedSeed seed = SpacedSeed::lastz_default();
+  SeedIndex index(a, seed, options.index_step);
+  return index.find_hits(b, options.max_seeds, options.sample_seed,
+                         options.seed_transitions);
+}
+
+void deduplicate_alignments(std::vector<Alignment>& alignments) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(alignments.size() * 2);
+  auto key = [](const Alignment& aln) {
+    // Coordinates are < 2^32; fold begin/end into one 64-bit key with a mix
+    // that keeps distinct rectangles distinct in practice.
+    std::uint64_t h = aln.a_begin * 0x9E3779B97F4A7C15ull;
+    h ^= aln.b_begin + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h ^= aln.a_end + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h ^= aln.b_end + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return h;
+  };
+  std::erase_if(alignments, [&](const Alignment& aln) { return !seen.insert(key(aln)).second; });
+}
+
+PipelineResult run_lastz(const Sequence& a, const Sequence& b, const ScoreParams& params,
+                         const PipelineOptions& options) {
+  params.validate();
+  PipelineResult result;
+  Timer total;
+
+  // Stage 1: seeding.
+  Timer stage;
+  const SpacedSeed seed = SpacedSeed::lastz_default();
+  std::vector<SeedHit> hits = enumerate_seeds(a, b, options);
+  result.counters.seed_hits = hits.size();
+  result.counters.seed_time_s = stage.elapsed_s();
+
+  // Stage 2: optional ungapped filtering (and optional chaining on top).
+  stage.reset();
+  if (options.use_ungapped_filter) {
+    std::vector<UngappedHsp> kept = filter_seeds(a, b, hits, seed.span(), params);
+    if (options.chain_hsps) kept = best_chain(std::move(kept));
+    hits.clear();
+    hits.reserve(kept.size());
+    for (const auto& hsp : kept) hits.push_back(hsp.seed);
+  }
+  result.counters.filter_time_s = stage.elapsed_s();
+  result.counters.seeds_extended = hits.size();
+
+  // Stage 3: gapped extension (the >99% component).
+  stage.reset();
+  CoverageMap covered;
+  for (const SeedHit& hit : hits) {
+    if (options.stop_at_prior_alignment) {
+      const std::uint64_t anchor_a = hit.a_pos + seed.span() / 2;
+      const std::uint64_t anchor_b = hit.b_pos + seed.span() / 2;
+      if (covered.covers(anchor_a, anchor_b)) {
+        ++result.counters.seeds_skipped;
+        continue;
+      }
+    }
+    GappedExtension ext = extend_seed(a, b, hit, seed.span(), params, options.one_sided);
+    result.counters.dp_cells += ext.total_cells();
+    if (ext.alignment.score >= params.gapped_threshold) {
+      result.counters.traceback_columns += ext.alignment.ops.size();
+      if (options.stop_at_prior_alignment) covered.add(ext.alignment);
+      result.alignments.push_back(std::move(ext.alignment));
+    }
+  }
+  result.counters.extend_time_s = stage.elapsed_s();
+
+  if (options.deduplicate) deduplicate_alignments(result.alignments);
+  result.counters.total_time_s = total.elapsed_s();
+  return result;
+}
+
+}  // namespace fastz

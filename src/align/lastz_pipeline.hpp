@@ -1,0 +1,86 @@
+// Sequential LASTZ pipeline drivers — the paper's baseline and oracle.
+//
+// Stage structure follows Section 2 of the paper:
+//   1. seeding        — spaced-seed exact matches (seed module)
+//   2. filtering      — optional ungapped x-drop filter ("ungapped LASTZ");
+//                       the high-sensitivity gapped variant skips it
+//   3. gapped extend  — `ydrop_one_sided_align` on both sides of each seed
+//
+// Per-stage wall-clock and DP-cell counters feed the Section 2.1 profile
+// experiment (">99% of gapped LASTZ's time is the DP component").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "align/extension.hpp"
+#include "score/score_params.hpp"
+#include "seed/seed_index.hpp"
+#include "seed/spaced_seed.hpp"
+#include "sequence/sequence.hpp"
+
+namespace fastz {
+
+struct PipelineOptions {
+  // Cap on processed seed hits (the paper evaluates 1M seed sites per
+  // benchmark); 0 = all hits.
+  std::size_t max_seeds = 0;
+  std::uint64_t sample_seed = 0x5eedull;
+  // true => "ungapped LASTZ": seeds must pass the ungapped x-drop filter
+  // before gapped extension (lower sensitivity, Figure 2).
+  bool use_ungapped_filter = false;
+  // With the filter on, additionally reduce the anchors to the best
+  // colinear chain (LASTZ's --chain stage; see seed/chaining.hpp).
+  bool chain_hsps = false;
+  // Suppress duplicate alignments (many seeds inside one homology segment
+  // converge to the same optimal alignment). Sequential LASTZ gets this
+  // effect from its stop-at-prior-alignment rule; reporting-level dedup is
+  // the order-independent equivalent that parallel implementations can use.
+  bool deduplicate = true;
+  // Section 2.1's sequential work reduction: skip seeds whose anchor lies
+  // inside an already-reported alignment ("terminates an ongoing seed
+  // extension upon reaching a previously-discovered alignment"). Inherently
+  // order-dependent, so FastZ and the multicore partitioning cannot use it
+  // (Section 3.4); exposed here to quantify the work FastZ forgoes
+  // (bench_work_reduction).
+  bool stop_at_prior_alignment = false;
+  // LASTZ's default seed tolerance: allow one transition substitution at a
+  // care position of the spaced seed (off here by default so seed counts
+  // stay comparable with exact-match runs; see SeedIndex::find_hits).
+  bool seed_transitions = false;
+  OneSidedOptions one_sided;
+  std::uint32_t index_step = 1;
+};
+
+struct PipelineCounters {
+  std::uint64_t seed_hits = 0;         // hits enumerated (after sampling cap)
+  std::uint64_t seeds_extended = 0;    // survived filtering
+  std::uint64_t seeds_skipped = 0;     // suppressed by stop_at_prior_alignment
+  std::uint64_t dp_cells = 0;          // gapped DP cells computed
+  std::uint64_t traceback_columns = 0; // total ops across reported alignments
+  double seed_time_s = 0.0;
+  double filter_time_s = 0.0;
+  double extend_time_s = 0.0;
+  double total_time_s = 0.0;
+};
+
+struct PipelineResult {
+  std::vector<Alignment> alignments;  // score >= params.gapped_threshold
+  PipelineCounters counters;
+};
+
+// Gapped (high-sensitivity) LASTZ when `options.use_ungapped_filter` is
+// false; ungapped-filtered LASTZ when true.
+PipelineResult run_lastz(const Sequence& a, const Sequence& b, const ScoreParams& params,
+                         const PipelineOptions& options = {});
+
+// Seed enumeration shared by all implementations (sequential, multicore,
+// FastZ): builds the index over `a` and returns the (possibly sampled)
+// hit list.
+std::vector<SeedHit> enumerate_seeds(const Sequence& a, const Sequence& b,
+                                     const PipelineOptions& options);
+
+// Removes alignments duplicating an earlier one's coordinates.
+void deduplicate_alignments(std::vector<Alignment>& alignments);
+
+}  // namespace fastz

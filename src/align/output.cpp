@@ -1,0 +1,57 @@
+#include "align/output.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace fastz {
+
+AlignedRows render_rows(const Alignment& aln, const Sequence& a, const Sequence& b) {
+  AlignedRows rows;
+  rows.a.reserve(aln.ops.size());
+  rows.b.reserve(aln.ops.size());
+  std::uint64_t ai = aln.a_begin;
+  std::uint64_t bi = aln.b_begin;
+  for (AlignOp op : aln.ops) {
+    switch (op) {
+      case AlignOp::Match:
+        rows.a.push_back(decode_base(a[ai++]));
+        rows.b.push_back(decode_base(b[bi++]));
+        break;
+      case AlignOp::Insert:
+        rows.a.push_back('-');
+        rows.b.push_back(decode_base(b[bi++]));
+        break;
+      case AlignOp::Delete:
+        rows.a.push_back(decode_base(a[ai++]));
+        rows.b.push_back('-');
+        break;
+    }
+  }
+  return rows;
+}
+
+void write_maf(std::ostream& out, const std::vector<Alignment>& alignments,
+               const Sequence& a, const Sequence& b) {
+  out << "##maf version=1 scoring=hoxd70\n";
+  for (const Alignment& aln : alignments) {
+    const AlignedRows rows = render_rows(aln, a, b);
+    out << "a score=" << aln.score << '\n';
+    out << "s " << a.name() << ' ' << aln.a_begin << ' ' << (aln.a_end - aln.a_begin)
+        << " + " << a.size() << ' ' << rows.a << '\n';
+    out << "s " << b.name() << ' ' << aln.b_begin << ' ' << (aln.b_end - aln.b_begin)
+        << " + " << b.size() << ' ' << rows.b << '\n';
+    out << '\n';
+  }
+}
+
+void write_tabular(std::ostream& out, const std::vector<Alignment>& alignments,
+                   const Sequence& a, const Sequence& b) {
+  for (const Alignment& aln : alignments) {
+    out << a.name() << '\t' << b.name() << '\t' << aln.a_begin << '\t' << aln.a_end
+        << '\t' << aln.b_begin << '\t' << aln.b_end << '\t' << aln.score << '\t'
+        << std::fixed << std::setprecision(1) << aln.identity(a, b) * 100.0 << '\t'
+        << aln.cigar() << '\n';
+  }
+}
+
+}  // namespace fastz

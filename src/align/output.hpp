@@ -1,0 +1,35 @@
+// Alignment output formats.
+//
+// LASTZ's ecosystem consumes MAF (multiple alignment format, the UCSC
+// toolchain's interchange format) and simple tabular layouts; a drop-in
+// replacement has to speak them. `write_maf` emits one MAF block per
+// alignment with the aligned, gap-padded sequence rows; `write_tabular`
+// emits a PAF-like one-line-per-alignment table.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "align/alignment.hpp"
+#include "sequence/sequence.hpp"
+
+namespace fastz {
+
+// Expands an alignment into its two gap-padded rows (A row uses '-' where
+// ops insert into B and vice versa). Both strings have aln.length() chars.
+struct AlignedRows {
+  std::string a;
+  std::string b;
+};
+AlignedRows render_rows(const Alignment& aln, const Sequence& a, const Sequence& b);
+
+// MAF: a header (once) plus an `a score=...` block with two `s` lines per
+// alignment.
+void write_maf(std::ostream& out, const std::vector<Alignment>& alignments,
+               const Sequence& a, const Sequence& b);
+
+// Tab-separated: name_a name_b a_begin a_end b_begin b_end score identity% cigar
+void write_tabular(std::ostream& out, const std::vector<Alignment>& alignments,
+                   const Sequence& a, const Sequence& b);
+
+}  // namespace fastz

@@ -1,0 +1,51 @@
+// Directional, non-owning views over encoded sequences.
+//
+// Seed extension runs twice per seed: rightward over suffixes and leftward
+// over *reversed* prefixes (Section 3.1.2 of the paper: "LASTZ and FastZ
+// perform left and right extensions of any seed site separately before
+// combining"). A strided view lets the same DP kernel walk either direction
+// without materializing reversed copies (which would cost O(chromosome) per
+// seed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "sequence/dna.hpp"
+
+namespace fastz {
+
+class SeqView {
+ public:
+  SeqView() = default;
+  SeqView(const BaseCode* first, std::ptrdiff_t stride, std::size_t length) noexcept
+      : first_(first), stride_(stride), length_(length) {}
+
+  BaseCode operator[](std::size_t k) const noexcept {
+    return first_[static_cast<std::ptrdiff_t>(k) * stride_];
+  }
+  std::size_t size() const noexcept { return length_; }
+  bool empty() const noexcept { return length_ == 0; }
+
+  // First `n` elements (n <= size()).
+  SeqView prefix(std::size_t n) const noexcept { return {first_, stride_, n}; }
+
+ private:
+  const BaseCode* first_ = nullptr;
+  std::ptrdiff_t stride_ = 1;
+  std::size_t length_ = 0;
+};
+
+// View of codes[begin, end) in ascending order.
+inline SeqView forward_view(std::span<const BaseCode> codes, std::size_t begin,
+                            std::size_t end) noexcept {
+  return {codes.data() + begin, 1, end - begin};
+}
+
+// View of codes[0, end) in *descending* order: element 0 is codes[end - 1].
+inline SeqView reverse_view(std::span<const BaseCode> codes, std::size_t end) noexcept {
+  return {codes.data() + (end == 0 ? 0 : end - 1), -1, end};
+}
+
+}  // namespace fastz

@@ -1,0 +1,47 @@
+#include "align/strand_search.hpp"
+
+#include <algorithm>
+
+namespace fastz {
+
+std::size_t StrandSearchResult::forward_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(alignments.begin(), alignments.end(),
+                    [](const StrandAlignment& s) { return !s.reverse_strand; }));
+}
+
+std::size_t StrandSearchResult::reverse_count() const {
+  return alignments.size() - forward_count();
+}
+
+StrandSearchResult run_lastz_both_strands(const Sequence& a, const Sequence& b,
+                                          const ScoreParams& params,
+                                          const PipelineOptions& options) {
+  StrandSearchResult result;
+  result.rc_query = b.reverse_complement(b.name() + "_rc");
+
+  PipelineResult forward = run_lastz(a, b, params, options);
+  result.forward_counters = forward.counters;
+  for (Alignment& aln : forward.alignments) {
+    StrandAlignment s;
+    s.b_forward_begin = aln.b_begin;
+    s.b_forward_end = aln.b_end;
+    s.alignment = std::move(aln);
+    result.alignments.push_back(std::move(s));
+  }
+
+  PipelineResult reverse = run_lastz(a, result.rc_query, params, options);
+  result.reverse_counters = reverse.counters;
+  for (Alignment& aln : reverse.alignments) {
+    StrandAlignment s;
+    s.reverse_strand = true;
+    const auto [fwd_begin, fwd_end] = map_to_forward(aln.b_begin, aln.b_end, b.size());
+    s.b_forward_begin = fwd_begin;
+    s.b_forward_end = fwd_end;
+    s.alignment = std::move(aln);
+    result.alignments.push_back(std::move(s));
+  }
+  return result;
+}
+
+}  // namespace fastz

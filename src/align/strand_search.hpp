@@ -1,0 +1,53 @@
+// Both-strand whole-genome alignment.
+//
+// DNA homology can sit on either strand; LASTZ searches the query's forward
+// and reverse-complement orientations and reports minus-strand alignments
+// with flipped query coordinates. This driver runs the chosen pipeline
+// twice — once against B and once against revcomp(B) — and maps the
+// reverse-pass coordinates back onto B's forward strand.
+//
+// A reverse-strand alignment's ops describe the path through revcomp(B);
+// `StrandAlignment` keeps them in that frame (so they can be rescored
+// against the stored `rc_query`) and carries the forward-strand B interval
+// for reporting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "align/lastz_pipeline.hpp"
+#include "sequence/sequence.hpp"
+
+namespace fastz {
+
+struct StrandAlignment {
+  Alignment alignment;        // coordinates in the searched frame
+  bool reverse_strand = false;
+  // B interval mapped to the forward strand (equal to the alignment's own
+  // interval for forward-strand hits).
+  std::uint64_t b_forward_begin = 0;
+  std::uint64_t b_forward_end = 0;
+};
+
+struct StrandSearchResult {
+  std::vector<StrandAlignment> alignments;
+  Sequence rc_query;  // revcomp(B), the frame of reverse-strand alignments
+  PipelineCounters forward_counters;
+  PipelineCounters reverse_counters;
+
+  std::size_t forward_count() const;
+  std::size_t reverse_count() const;
+};
+
+// Runs sequential gapped LASTZ on both strands of `b`.
+StrandSearchResult run_lastz_both_strands(const Sequence& a, const Sequence& b,
+                                          const ScoreParams& params,
+                                          const PipelineOptions& options = {});
+
+// Maps an interval on revcomp(B) back to forward-strand coordinates.
+inline std::pair<std::uint64_t, std::uint64_t> map_to_forward(
+    std::uint64_t rc_begin, std::uint64_t rc_end, std::uint64_t b_length) noexcept {
+  return {b_length - rc_end, b_length - rc_begin};
+}
+
+}  // namespace fastz

@@ -1,0 +1,45 @@
+#include "baseline/feng_baseline.hpp"
+
+namespace fastz {
+
+namespace {
+
+// One side's cost: the explored region sweeps (rows + width) anti-diagonals;
+// each diagonal computes up to `width` cells spread over ceil(width/32)
+// warps running concurrently on different SMs, then synchronizes.
+void add_side(const SideInspection& side, const gpusim::DeviceSpec& device,
+              FengBaselineResult& out) {
+  const std::uint64_t diagonals = std::uint64_t{side.rows} + side.max_width;
+  if (diagonals == 0) return;
+  out.diagonals += diagonals;
+
+  // Per-diagonal compute: the diagonal's cells run as ceil(width/32) warps
+  // spread over SMs; each warp executes the 9-op recurrence under
+  // divergence derating, and warps co-resident on an SM share its issue
+  // slots.
+  const std::uint64_t warps = (std::uint64_t{side.max_width} + 31) / 32;
+  const double warps_per_sm =
+      std::max(1.0, static_cast<double>(warps) / device.sm_count);
+  const double step_s = warps_per_sm * gpusim::kOpsPerCell * device.divergence_derate /
+                        (device.clock_ghz * 1e9);
+  out.compute_time_s += static_cast<double>(diagonals) * step_s;
+  out.sync_time_s += static_cast<double>(diagonals) * kDiagonalSyncSeconds;
+
+  out.kernel_launches += 1;
+  out.launch_time_s += kFengLaunchSeconds;
+}
+
+}  // namespace
+
+FengBaselineResult model_feng_baseline(const FastzStudy& study,
+                                       const gpusim::DeviceSpec& device) {
+  FengBaselineResult out;
+  for (const SeedWork& work : study.seed_work()) {
+    add_side(work.inspection.left, device, out);
+    add_side(work.inspection.right, device, out);
+  }
+  out.modeled_time_s = out.compute_time_s + out.sync_time_s + out.launch_time_s;
+  return out;
+}
+
+}  // namespace fastz

@@ -1,0 +1,81 @@
+#include "fastz/executor.hpp"
+
+#include <algorithm>
+
+namespace fastz {
+
+namespace {
+
+struct SideExecution {
+  std::vector<AlignOp> ops;
+  std::uint64_t cells = 0;
+  StripGeometry geom;
+  bool truncated = false;
+};
+
+SideExecution execute_side(SeqView a, SeqView b, const BestCell& target,
+                           const ScoreParams& params, const FastzConfig& config,
+                           const OneSidedOptions& limits) {
+  SideExecution side;
+  if (target.i == 0 && target.j == 0) return side;  // nothing to trace
+
+  OneSidedOptions opts = limits;
+  opts.prune = PruneMode::kConservative;
+  opts.want_traceback = true;
+  opts.record_row_bounds = true;
+  // Trimming: confine the DP to the optimal rectangle. Untrimmed (the
+  // Figure 9 ablation point), the executor re-runs the full search space
+  // with traceback, exactly like a one-pass implementation would.
+  if (config.executor_trimming) {
+    opts.max_rows = target.i;
+    opts.max_cols = target.j;
+  }
+  opts.trace_from_fixed = true;
+  opts.trace_i = target.i;
+  opts.trace_j = target.j;
+
+  OneSidedResult r = ydrop_one_sided_align(a, b, params, opts);
+  side.ops = std::move(r.ops);
+  side.cells = r.cells;
+  side.geom = strip_geometry_from_bounds(r.row_bounds);
+  side.truncated = r.truncated;
+  return side;
+}
+
+}  // namespace
+
+ExecutorOutcome execute_seed(const Sequence& a, const Sequence& b,
+                             const SeedInspection& inspection, const ScoreParams& params,
+                             const FastzConfig& config, const OneSidedOptions& limits) {
+  ExecutorOutcome out;
+
+  const auto a_codes = a.codes();
+  const auto b_codes = b.codes();
+  SideExecution left = execute_side(reverse_view(a_codes, inspection.anchor_a),
+                                    reverse_view(b_codes, inspection.anchor_b),
+                                    inspection.left.best, params, config, limits);
+  SideExecution right = execute_side(
+      forward_view(a_codes, inspection.anchor_a, a.size()),
+      forward_view(b_codes, inspection.anchor_b, b.size()),
+      inspection.right.best, params, config, limits);
+
+  Alignment& aln = out.alignment;
+  aln.score = inspection.score;
+  aln.a_begin = inspection.anchor_a - inspection.left.best.i;
+  aln.b_begin = inspection.anchor_b - inspection.left.best.j;
+  aln.a_end = inspection.anchor_a + inspection.right.best.i;
+  aln.b_end = inspection.anchor_b + inspection.right.best.j;
+  aln.ops.reserve(left.ops.size() + right.ops.size());
+  aln.ops.assign(left.ops.rbegin(), left.ops.rend());
+  aln.ops.insert(aln.ops.end(), right.ops.begin(), right.ops.end());
+
+  out.cells = left.cells + right.cells;
+  out.geom.warp_steps = left.geom.warp_steps + right.geom.warp_steps;
+  out.geom.strips = left.geom.strips + right.geom.strips;
+  out.geom.spill_cells = left.geom.spill_cells + right.geom.spill_cells;
+  out.traceback_bytes = out.cells;  // one packed byte per computed cell
+  out.truncated = left.truncated || right.truncated;
+  return out;
+}
+
+}  // namespace fastz

@@ -1,0 +1,40 @@
+// FastZ executor stage.
+//
+// Seeds that escape the eager tile are re-evaluated with full traceback.
+// With *executor trimming* (the paper's third contribution, Section 3.1.3)
+// the DP is confined to the optimal rectangle [0..i*] x [0..j*] known from
+// the inspector — not the far larger search space — and the traceback walk
+// starts from the inspector's optimal cell, so the executor's alignment is
+// consistent with the inspector by construction. Exact-size allocation from
+// the inspector's lengths is what lets the real kernel pack many problems
+// per launch; here it additionally bounds the traceback state the run
+// materializes.
+//
+// Traceback state is packed one byte per cell (2 bits for S's 3-way choice,
+// 1 bit each for I and D — Section 3.1.3) and, in the modeled memory
+// system, staged through shared memory into full cache-line writes.
+#pragma once
+
+#include <cstdint>
+
+#include "align/extension.hpp"
+#include "fastz/config.hpp"
+#include "fastz/inspector.hpp"
+
+namespace fastz {
+
+struct ExecutorOutcome {
+  Alignment alignment;            // global coordinates, ops populated
+  std::uint64_t cells = 0;        // DP cells recomputed by the executor
+  StripGeometry geom;             // warp-strip geometry of the executed region
+  std::uint64_t traceback_bytes = 0;  // one packed byte per computed cell
+  bool truncated = false;
+};
+
+// Executes one surviving seed using the inspector's findings.
+ExecutorOutcome execute_seed(const Sequence& a, const Sequence& b,
+                             const SeedInspection& inspection, const ScoreParams& params,
+                             const FastzConfig& config,
+                             const OneSidedOptions& limits = {});
+
+}  // namespace fastz

@@ -1,0 +1,257 @@
+#include "fastz/fastz_pipeline.hpp"
+
+#include <algorithm>
+
+#include "fastz/strip_kernel.hpp"
+#include "util/timer.hpp"
+
+namespace fastz {
+
+namespace {
+
+// Host-side ("other") cost constants — Figure 8's third component: reading
+// anchor points and sequence files, host allocation, PCIe copies, sorting
+// the anchors into bins, copying eager-surviving anchors for the executor
+// (Section 5.2). Calibrated so the host share lands in the paper's range
+// (~20-30% of the accelerated pipeline) at the evaluation scale.
+constexpr double kHostPrepPerSequenceByte = 1.0e-9;  // parse + allocate + encode
+constexpr double kHostPerSeed = 20e-9;               // anchor bookkeeping + bin sort
+
+// Per-warp-step sequence fetch (two bases per anti-diagonal step, served
+// mostly from L2; charged on the device ledger).
+constexpr std::uint64_t kSequenceBytesPerStep = 2;
+
+struct TaskAccumulator {
+  std::vector<gpusim::WarpTask> tasks;
+  gpusim::MemoryLedger ledger;
+};
+
+}  // namespace
+
+FastzStudy::FastzStudy(const Sequence& a, const Sequence& b, const ScoreParams& params,
+                       const PipelineOptions& base) {
+  Timer wallclock;
+  params.validate();
+  sequence_bytes_ = a.size() + b.size();
+
+  const SpacedSeed seed = SpacedSeed::lastz_default();
+  const std::vector<SeedHit> hits = enumerate_seeds(a, b, base);
+
+  const FastzConfig functional = FastzConfig::full();
+  seed_work_.reserve(hits.size());
+
+  for (const SeedHit& hit : hits) {
+    SeedWork work;
+    work.inspection =
+        inspect_seed(a, b, hit, seed.span(), params, functional, base.one_sided);
+    inspector_cells_ += work.inspection.search_cells();
+
+    if (work.inspection.eager) {
+      if (work.inspection.score >= params.gapped_threshold) {
+        work.has_alignment = true;
+        alignments_.push_back(work.inspection.alignment);
+      }
+    } else {
+      ExecutorOutcome exec =
+          execute_seed(a, b, work.inspection, params, functional, base.one_sided);
+      work.trimmed_cells = exec.cells;
+      work.trimmed_geom = exec.geom;
+      if (exec.alignment.score >= params.gapped_threshold) {
+        work.has_alignment = true;
+        alignments_.push_back(std::move(exec.alignment));
+      }
+    }
+    seed_work_.push_back(std::move(work));
+  }
+
+  if (base.deduplicate) deduplicate_alignments(alignments_);
+  functional_wallclock_s_ = wallclock.elapsed_s();
+}
+
+BinCensus FastzStudy::census() const {
+  const FastzConfig defaults;
+  BinCensus census;
+  for (const SeedWork& work : seed_work_) {
+    census.add(work.inspection, defaults.eager_tile, defaults.bin_edges);
+  }
+  return census;
+}
+
+FastzRun FastzStudy::derive(const FastzConfig& config, const gpusim::DeviceSpec& device,
+                            std::uint32_t shard_count, std::uint32_t shard_index) const {
+  if (shard_count == 0) shard_count = 1;
+  FastzRun run;
+  run.config = config;
+  const gpusim::KernelSimulator sim(device);
+
+  // ---- Inspector kernels: every seed of this shard, chunked across
+  // streams. ----------------------------------------------------------------
+  TaskAccumulator insp;
+  insp.tasks.reserve(seed_work_.size() / shard_count + 1);
+  for (std::size_t idx = shard_index; idx < seed_work_.size(); idx += shard_count) {
+    const SeedWork& work = seed_work_[idx];
+    const SeedInspection& ins = work.inspection;
+    ++run.seeds;
+    const std::uint64_t steps = ins.warp_steps();
+    const std::uint64_t cells = ins.search_cells();
+    run.inspector_cells += cells;
+
+    gpusim::WarpTask task;
+    task.warp_instructions = steps * gpusim::kOpsPerCell;
+    const std::uint64_t seq_bytes = steps * kSequenceBytesPerStep;
+    insp.ledger.sequence_bytes += seq_bytes;
+    if (config.cyclic_buffers) {
+      const std::uint64_t spill =
+          (ins.left.geom.spill_cells + ins.right.geom.spill_cells) *
+          gpusim::kBoundarySpillBytes;
+      insp.ledger.boundary_spill_bytes += spill;
+      task.mem_bytes = spill + seq_bytes;
+    } else {
+      const std::uint64_t reads = cells * gpusim::kScoreReadBytesPerCell;
+      const std::uint64_t writes = cells * gpusim::kScoreWriteBytesPerCell;
+      insp.ledger.score_read_bytes += reads;
+      insp.ledger.score_write_bytes += writes;
+      task.mem_bytes = reads + writes + seq_bytes;
+    }
+    insp.tasks.push_back(task);
+  }
+
+  std::vector<std::vector<gpusim::WarpTask>> insp_chunks;
+  const std::size_t chunk = std::max<std::uint32_t>(config.inspector_chunk, 1);
+  for (std::size_t begin = 0; begin < insp.tasks.size(); begin += chunk) {
+    const std::size_t end = std::min(insp.tasks.size(), begin + chunk);
+    insp_chunks.emplace_back(insp.tasks.begin() + static_cast<std::ptrdiff_t>(begin),
+                             insp.tasks.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  run.inspector_cost = sim.run_streamed(insp_chunks, config.streams);
+  run.ledger.merge(insp.ledger);
+
+  // ---- Executor kernels: one task list per length bin. -------------------
+  // Per-problem traceback allocations must fit device memory together; the
+  // inspector's exact sizes let the executor pack problems tightly, but a
+  // bin whose aggregate allocation exceeds the budget is split into
+  // multiple kernels (Section 3.1.3: "precise allocation enables FastZ to
+  // pack many more seed extensions into one kernel"). Untrimmed executors
+  // allocate the whole search space — the footprint difference is what
+  // batching makes visible.
+  std::vector<std::vector<gpusim::WarpTask>> bin_tasks(config.bin_edges.size() + 1);
+  std::vector<std::vector<std::uint64_t>> bin_allocs(config.bin_edges.size() + 1);
+  TaskAccumulator exec;
+  for (std::size_t idx = shard_index; idx < seed_work_.size(); idx += shard_count) {
+    const SeedWork& work = seed_work_[idx];
+    const SeedInspection& ins = work.inspection;
+    const bool eligible = eager_eligible(ins, config.eager_tile);
+    run.census.add(ins, config.eager_tile, config.bin_edges);
+    if (config.eager_traceback && eligible) {
+      ++run.eager_handled;
+      continue;  // finished inside the inspector; no executor task
+    }
+    ++run.executor_tasks;
+
+    std::uint64_t cells;
+    StripGeometry geom;
+    if (!config.executor_trimming) {
+      // Untrimmed: the executor re-runs the full search space with
+      // traceback, like a one-pass implementation.
+      cells = ins.search_cells();
+      geom.warp_steps = ins.warp_steps();
+      geom.spill_cells = ins.left.geom.spill_cells + ins.right.geom.spill_cells;
+    } else if (eligible) {
+      // Eager disabled but the alignment is tile-sized: the trimmed
+      // executor rectangle is the tiny optimal box.
+      cells = std::uint64_t{ins.left.best.i} * ins.left.best.j +
+              std::uint64_t{ins.right.best.i} * ins.right.best.j;
+      geom.warp_steps = std::uint64_t{ins.left.best.i} + ins.right.best.i + 2 * kWarpWidth;
+      geom.spill_cells = 0;
+    } else {
+      cells = work.trimmed_cells;
+      geom = work.trimmed_geom;
+    }
+    run.executor_cells += cells;
+
+    gpusim::WarpTask task;
+    task.warp_instructions = geom.warp_steps * gpusim::kOpsPerCell;
+    const std::uint64_t seq_bytes = geom.warp_steps * kSequenceBytesPerStep;
+    exec.ledger.sequence_bytes += seq_bytes;
+
+    std::uint64_t score_traffic;
+    if (config.cyclic_buffers) {
+      score_traffic = geom.spill_cells * gpusim::kBoundarySpillBytes;
+      exec.ledger.boundary_spill_bytes += score_traffic;
+    } else {
+      const std::uint64_t reads = cells * gpusim::kScoreReadBytesPerCell;
+      const std::uint64_t writes = cells * gpusim::kScoreWriteBytesPerCell;
+      exec.ledger.score_read_bytes += reads;
+      exec.ledger.score_write_bytes += writes;
+      score_traffic = reads + writes;
+    }
+    const std::uint64_t tb_wire =
+        config.staged_traceback_writes ? cells : cells * gpusim::kSectorBytes;
+    exec.ledger.traceback_bytes += cells;
+    exec.ledger.traceback_wire_bytes += tb_wire;
+
+    task.mem_bytes = score_traffic + tb_wire + seq_bytes;
+    const std::size_t bin =
+        eligible ? 0 : std::min(bin_index(ins.box(), config.bin_edges), bin_tasks.size() - 1);
+    bin_tasks[bin].push_back(task);
+    // Device-resident footprint of this problem: its packed traceback
+    // allocation (one byte per computed cell).
+    bin_allocs[bin].push_back(cells);
+  }
+
+  // Split bins into kernels honoring the device-memory budget.
+  const std::uint64_t memory_budget = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(device.memory_bytes) * 0.6));
+  std::vector<std::vector<gpusim::WarpTask>> exec_kernels;
+  for (std::size_t bin = 0; bin < bin_tasks.size(); ++bin) {
+    if (bin_tasks[bin].empty()) continue;
+    std::vector<gpusim::WarpTask> batch;
+    std::uint64_t batch_bytes = 0;
+    for (std::size_t k = 0; k < bin_tasks[bin].size(); ++k) {
+      if (!batch.empty() && batch_bytes + bin_allocs[bin][k] > memory_budget) {
+        exec_kernels.push_back(std::move(batch));
+        batch.clear();
+        batch_bytes = 0;
+      }
+      batch.push_back(bin_tasks[bin][k]);
+      batch_bytes += bin_allocs[bin][k];
+    }
+    if (!batch.empty()) exec_kernels.push_back(std::move(batch));
+  }
+  run.executor_kernels = exec_kernels.size();
+  std::size_t bins_used = 0;
+  for (const auto& tasks : bin_tasks) bins_used += tasks.empty() ? 0 : 1;
+  // When memory batching split a bin, the batches contend for the same
+  // allocation budget and cannot overlap — serialize the executor kernels.
+  const std::uint32_t exec_streams =
+      run.executor_kernels > bins_used ? 1 : config.streams;
+  run.executor_cost = sim.run_streamed(exec_kernels, exec_streams);
+  run.ledger.merge(exec.ledger);
+
+  // ---- Host ("other") component. ------------------------------------------
+  std::uint64_t copy_bytes = sequence_bytes_;        // sequences to the device
+  copy_bytes += run.seeds * 8;                       // anchors up
+  copy_bytes += run.seeds * 16;                      // inspector findings down
+  copy_bytes += run.executor_tasks * 24;             // surviving anchors up
+  for (const Alignment& aln : alignments_) copy_bytes += 32 + aln.ops.size();
+  run.ledger.host_copy_bytes = copy_bytes;
+
+  run.modeled.inspector_s = run.inspector_cost.time_s;
+  run.modeled.executor_s = run.executor_cost.time_s;
+  run.modeled.other_s = static_cast<double>(sequence_bytes_) * kHostPrepPerSequenceByte +
+                        static_cast<double>(run.seeds) * kHostPerSeed +
+                        static_cast<double>(copy_bytes) / (device.pcie_bandwidth_gbps * 1e9);
+  return run;
+}
+
+FastzRun run_fastz(const Sequence& a, const Sequence& b, const ScoreParams& params,
+                   const PipelineOptions& base, const FastzConfig& config,
+                   const gpusim::DeviceSpec& device,
+                   std::vector<Alignment>* alignments_out) {
+  const FastzStudy study(a, b, params, base);
+  FastzRun run = study.derive(config, device);
+  if (alignments_out != nullptr) *alignments_out = study.alignments();
+  return run;
+}
+
+}  // namespace fastz

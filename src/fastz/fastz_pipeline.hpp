@@ -1,0 +1,109 @@
+// End-to-end FastZ pipeline and the configuration study used by the
+// benchmark harness.
+//
+// `FastzStudy` performs the *functional* pass once per chromosome pair —
+// seeding, per-seed inspection (conservative y-drop search + eager tile),
+// and execution of the surviving seeds — retaining per-seed work metrics
+// (search cells, warp-strip geometry, optimal cells, trimmed executor
+// geometry). Any `FastzConfig` x `DeviceSpec` combination can then be
+// *derived* from the stored metrics without re-running the DP: ablation
+// switches change which work lands in which kernel and how many bytes it
+// moves, exactly as they would on the real device. This mirrors how the
+// paper's Figure 9 progressively composes the optimizations over one
+// workload.
+//
+// Alignments are config-independent (FastZ's optimizations are
+// work-elimination, not approximation — the paper verifies its output
+// against LASTZ's), so the functional alignments are shared by every
+// derived configuration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "align/lastz_pipeline.hpp"
+#include "fastz/binning.hpp"
+#include "fastz/config.hpp"
+#include "fastz/executor.hpp"
+#include "fastz/inspector.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_sim.hpp"
+#include "gpusim/memory_ledger.hpp"
+
+namespace fastz {
+
+// Modeled execution-time breakdown (Figure 8's three components).
+struct FastzStageTimes {
+  double inspector_s = 0.0;
+  double executor_s = 0.0;
+  double other_s = 0.0;
+  double total_s() const noexcept { return inspector_s + executor_s + other_s; }
+};
+
+// Result of deriving one configuration on one device.
+struct FastzRun {
+  FastzConfig config;
+  FastzStageTimes modeled;
+  gpusim::KernelCost inspector_cost;
+  gpusim::KernelCost executor_cost;
+  gpusim::MemoryLedger ledger;
+  BinCensus census;
+  std::uint64_t seeds = 0;
+  std::uint64_t eager_handled = 0;    // seeds finished by eager traceback
+  std::uint64_t executor_tasks = 0;
+  std::uint64_t executor_kernels = 0;  // bin kernels after memory batching
+  std::uint64_t inspector_cells = 0;  // search-space cells (conservative y-drop)
+  std::uint64_t executor_cells = 0;   // cells the executor recomputed
+};
+
+// Per-seed record from the functional pass.
+struct SeedWork {
+  SeedInspection inspection;
+  // Trimmed-executor metrics (valid when the seed is not eager-eligible).
+  std::uint64_t trimmed_cells = 0;
+  StripGeometry trimmed_geom;
+  bool has_alignment = false;  // combined score cleared the threshold
+};
+
+class FastzStudy {
+ public:
+  // Runs the functional pass: seeding per `base` options, inspection of
+  // every seed, execution of non-eager seeds (trimmed), and collection of
+  // reported alignments (score >= params.gapped_threshold, deduplicated
+  // per base.deduplicate).
+  FastzStudy(const Sequence& a, const Sequence& b, const ScoreParams& params,
+             const PipelineOptions& base = {});
+
+  // Derives the modeled cost of `config` on `device` from the stored
+  // metrics. Functionally the alignments are those of the full pipeline.
+  //
+  // `shard_count`/`shard_index` model the multi-GPU extension the paper's
+  // Discussion sketches ("the seeds can be partitioned easily"): only seeds
+  // with index % shard_count == shard_index are charged to this device.
+  FastzRun derive(const FastzConfig& config, const gpusim::DeviceSpec& device,
+                  std::uint32_t shard_count = 1, std::uint32_t shard_index = 0) const;
+
+  const std::vector<Alignment>& alignments() const noexcept { return alignments_; }
+  const std::vector<SeedWork>& seed_work() const noexcept { return seed_work_; }
+  std::uint64_t seeds() const noexcept { return seed_work_.size(); }
+  std::uint64_t inspector_cells() const noexcept { return inspector_cells_; }
+  // Census with the paper's default tile/bin boundaries.
+  BinCensus census() const;
+  double functional_wallclock_s() const noexcept { return functional_wallclock_s_; }
+  std::uint64_t sequence_bytes() const noexcept { return sequence_bytes_; }
+
+ private:
+  std::vector<SeedWork> seed_work_;
+  std::vector<Alignment> alignments_;
+  std::uint64_t inspector_cells_ = 0;
+  std::uint64_t sequence_bytes_ = 0;
+  double functional_wallclock_s_ = 0.0;
+};
+
+// Convenience wrapper: functional pass + derivation in one call.
+FastzRun run_fastz(const Sequence& a, const Sequence& b, const ScoreParams& params,
+                   const PipelineOptions& base, const FastzConfig& config,
+                   const gpusim::DeviceSpec& device,
+                   std::vector<Alignment>* alignments_out = nullptr);
+
+}  // namespace fastz

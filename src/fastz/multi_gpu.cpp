@@ -1,0 +1,38 @@
+#include "fastz/multi_gpu.hpp"
+
+#include <algorithm>
+
+namespace fastz::gpusim {
+
+MultiGpuRun model_multi_gpu(const FastzStudy& study, const FastzConfig& config,
+                            const DeviceSpec& device, std::uint32_t devices) {
+  if (devices == 0) devices = 1;
+  MultiGpuRun out;
+  out.devices = devices;
+  out.per_device_s.reserve(devices);
+
+  const double single_s = study.derive(config, device).modeled.total_s();
+
+  for (std::uint32_t shard = 0; shard < devices; ++shard) {
+    const FastzRun run = study.derive(config, device, devices, shard);
+    out.per_device_s.push_back(run.modeled.total_s());
+  }
+  out.time_s = *std::max_element(out.per_device_s.begin(), out.per_device_s.end());
+  out.speedup_vs_single = single_s / out.time_s;
+  out.efficiency = out.speedup_vs_single / devices;
+  return out;
+}
+
+std::vector<MultiGpuRun> multi_gpu_scaling(const FastzStudy& study,
+                                           const FastzConfig& config,
+                                           const DeviceSpec& device,
+                                           const std::vector<std::uint32_t>& counts) {
+  std::vector<MultiGpuRun> runs;
+  runs.reserve(counts.size());
+  for (std::uint32_t n : counts) {
+    runs.push_back(model_multi_gpu(study, config, device, n));
+  }
+  return runs;
+}
+
+}  // namespace fastz::gpusim

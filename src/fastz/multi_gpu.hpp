@@ -1,0 +1,41 @@
+// Multi-GPU extension (the paper's Discussion, Section 6).
+//
+// "FastZ's approach lends itself to multi-GPU (and if necessary,
+// multi-node) acceleration because the seeds can be partitioned easily.
+// As such, each partition can be assigned to different GPUs and/or nodes
+// for parallel execution." The paper defers the implementation; this
+// module builds it on the virtual substrate: seeds are sharded round-robin
+// across identical devices, each shard runs the full inspector/executor
+// schedule independently, and the ensemble finishes at the slowest shard.
+// Sequences are broadcast to every device (PCIe cost repeats); the
+// seed-partitioning itself is free, exactly the property the paper points
+// to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fastz/fastz_pipeline.hpp"
+#include "gpusim/device_spec.hpp"
+
+namespace fastz::gpusim {
+
+struct MultiGpuRun {
+  std::uint32_t devices = 0;
+  double time_s = 0.0;                 // max over shards (bulk completion)
+  std::vector<double> per_device_s;    // each shard's modeled total
+  double speedup_vs_single = 0.0;      // single-device total / time_s
+  double efficiency = 0.0;             // speedup / devices
+};
+
+// Models `devices` identical `device`s executing `study` under `config`.
+MultiGpuRun model_multi_gpu(const FastzStudy& study, const FastzConfig& config,
+                            const DeviceSpec& device, std::uint32_t devices);
+
+// Scaling sweep over device counts (e.g. {1, 2, 4, 8}).
+std::vector<MultiGpuRun> multi_gpu_scaling(const FastzStudy& study,
+                                           const FastzConfig& config,
+                                           const DeviceSpec& device,
+                                           const std::vector<std::uint32_t>& counts);
+
+}  // namespace fastz::gpusim

@@ -1,0 +1,71 @@
+// Bulk-synchronous kernel scheduling on the virtual GPU.
+//
+// FastZ's parallelism model assigns one seed-extension DP to one warp
+// (Section 3.1.1). A kernel is a batch of such warp-tasks; it completes
+// only when every task has (bulk synchrony), which is precisely what makes
+// intermingled long and short alignments a load-imbalance problem and
+// motivates length binning (Section 3.3). The simulator list-schedules the
+// tasks onto the device's execution slots and reports the makespan together
+// with the memory-bandwidth roofline time — whichever dominates is the
+// kernel's modeled time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/device_spec.hpp"
+
+namespace fastz::gpusim {
+
+// Cost record of one warp's work, produced by actually executing the
+// functional kernel for one seed extension.
+struct WarpTask {
+  // Warp instructions before divergence derating (DP steps x ops/cell).
+  std::uint64_t warp_instructions = 0;
+  // Global-memory bytes this task moves.
+  std::uint64_t mem_bytes = 0;
+};
+
+struct KernelCost {
+  double time_s = 0.0;          // max(compute makespan, memory roofline) + launch
+  double compute_time_s = 0.0;  // list-schedule makespan
+  double memory_time_s = 0.0;   // aggregate bytes / sustained bandwidth
+  double launch_overhead_s = 0.0;
+  std::uint64_t tasks = 0;
+  std::uint64_t warp_instructions = 0;
+  std::uint64_t mem_bytes = 0;
+
+  bool memory_bound() const noexcept { return memory_time_s > compute_time_s; }
+};
+
+class KernelSimulator {
+ public:
+  explicit KernelSimulator(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const DeviceSpec& spec() const noexcept { return spec_; }
+
+  // One bulk-synchronous kernel over `tasks`.
+  KernelCost run_kernel(std::span<const WarpTask> tasks) const;
+
+  // A sequence of kernels (chunks). With `streams == 1` the chunks are
+  // serialized — each pays its own bulk-synchronous tail (the FastZ
+  // single-stream ablation). With more streams, chunks overlap: tasks pool
+  // into one schedule and only the launch overheads stay per-chunk
+  // (Section 3.4, "Streams").
+  KernelCost run_streamed(const std::vector<std::vector<WarpTask>>& chunks,
+                          std::uint32_t streams) const;
+
+  // Execution slots the schedule distributes tasks over.
+  std::uint32_t slot_count() const noexcept {
+    return spec_.sm_count * spec_.issue_per_sm;
+  }
+
+  // Modeled wall-clock of one task running alone.
+  double task_time_s(const WarpTask& task) const noexcept;
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace fastz::gpusim

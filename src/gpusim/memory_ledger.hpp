@@ -1,0 +1,55 @@
+// Byte-accurate accounting of the memory traffic a kernel configuration
+// generates. FastZ's central claim is traffic *elimination* (Sections 3.2
+// and 6 of the paper); the ledger is filled by the functional kernels from
+// the work they actually perform, and the roofline experiment (bench_roofline)
+// reports operational intensities from it.
+#pragma once
+
+#include <cstdint>
+
+namespace fastz::gpusim {
+
+struct MemoryLedger {
+  // DP score-matrix traffic (bytes). With cyclic use-and-discard buffering
+  // these stay in registers and only strip-boundary lanes spill.
+  std::uint64_t score_read_bytes = 0;
+  std::uint64_t score_write_bytes = 0;
+  // Strip-boundary spills of the three-diagonal register state (12 bytes
+  // per boundary cell: S, I, D at 4 bytes each — Section 6).
+  std::uint64_t boundary_spill_bytes = 0;
+  // Traceback state: logical bytes (one packed byte per executor cell) and
+  // wire bytes after write-combining. Staged through shared memory the two
+  // are equal; un-staged byte stores cost a full 32-byte sector each.
+  std::uint64_t traceback_bytes = 0;
+  std::uint64_t traceback_wire_bytes = 0;
+  // Sequence bases fetched by the DP (served from L2/texture in practice;
+  // tracked for completeness, charged at a small fraction).
+  std::uint64_t sequence_bytes = 0;
+  // Host <-> device copies (seeds in, alignments out, sequences).
+  std::uint64_t host_copy_bytes = 0;
+
+  std::uint64_t device_bytes() const noexcept {
+    return score_read_bytes + score_write_bytes + boundary_spill_bytes +
+           traceback_wire_bytes + sequence_bytes;
+  }
+
+  void merge(const MemoryLedger& other) noexcept {
+    score_read_bytes += other.score_read_bytes;
+    score_write_bytes += other.score_write_bytes;
+    boundary_spill_bytes += other.boundary_spill_bytes;
+    traceback_bytes += other.traceback_bytes;
+    traceback_wire_bytes += other.traceback_wire_bytes;
+    sequence_bytes += other.sequence_bytes;
+    host_copy_bytes += other.host_copy_bytes;
+  }
+};
+
+// Cost constants shared by the kernels' accounting (Figure 1 / Section 6 of
+// the paper).
+inline constexpr std::uint64_t kOpsPerCell = 9;          // 5 adds + 4 compares
+inline constexpr std::uint64_t kScoreReadBytesPerCell = 20;   // 5 reads x 4 B
+inline constexpr std::uint64_t kScoreWriteBytesPerCell = 12;  // 3 writes x 4 B
+inline constexpr std::uint64_t kBoundarySpillBytes = 12;      // S, I, D x 4 B
+inline constexpr std::uint64_t kSectorBytes = 32;  // DRAM sector for stray byte writes
+
+}  // namespace fastz::gpusim

@@ -1,0 +1,59 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+namespace fastz::gpusim {
+
+Occupancy compute_occupancy(const DeviceSpec& spec, const KernelResources& resources) {
+  Occupancy occ;
+  std::uint32_t warps = spec.max_resident_warps_per_sm;
+  occ.limiter = "warp slots";
+
+  if (resources.registers_per_thread > 0) {
+    const std::uint64_t regs_per_warp =
+        std::uint64_t{resources.registers_per_thread} * spec.warp_width * 4;
+    const auto reg_limit =
+        static_cast<std::uint32_t>(spec.register_file_per_sm_bytes / regs_per_warp);
+    if (reg_limit < warps) {
+      warps = reg_limit;
+      occ.limiter = "registers";
+    }
+  }
+  if (resources.shared_bytes_per_warp > 0) {
+    const auto smem_limit = static_cast<std::uint32_t>(
+        spec.shared_mem_per_sm_bytes / resources.shared_bytes_per_warp);
+    if (smem_limit < warps) {
+      warps = smem_limit;
+      occ.limiter = "shared memory";
+    }
+  }
+  occ.resident_warps_per_sm = warps;
+  return occ;
+}
+
+BufferPlacementAnalysis analyze_buffer_placement(const DeviceSpec& spec) {
+  BufferPlacementAnalysis out;
+
+  // The paper's arithmetic: 2 blocks x 64 warps x 32 threads x 36 B =
+  // 144 KB of shared memory, which exceeds every device's capacity.
+  out.smem_bytes_for_full_occupancy = std::uint64_t{kPaperExampleWarpsPerSm} *
+                                      spec.warp_width * kCyclicBufferBytesPerThread;
+
+  KernelResources smem_kernel;
+  smem_kernel.registers_per_thread = kInspectorBaseRegisters;
+  smem_kernel.shared_bytes_per_warp = kCyclicBufferBytesPerThread * spec.warp_width +
+                                      kEagerTileBytesPerWarp + kStagingBytesPerWarp;
+  out.with_shared_memory_buffers = compute_occupancy(spec, smem_kernel);
+
+  KernelResources reg_kernel;
+  // Buffers move into registers: 36 B = 9 additional 4-byte registers; the
+  // tile and staging line stay in shared memory.
+  reg_kernel.registers_per_thread =
+      kInspectorBaseRegisters + kCyclicBufferBytesPerThread / 4;
+  reg_kernel.shared_bytes_per_warp = kEagerTileBytesPerWarp + kStagingBytesPerWarp;
+  out.with_register_buffers = compute_occupancy(spec, reg_kernel);
+
+  return out;
+}
+
+}  // namespace fastz::gpusim

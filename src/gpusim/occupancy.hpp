@@ -1,0 +1,65 @@
+// SM occupancy calculation and the cyclic-buffer placement analysis.
+//
+// Section 3.2 of the paper weighs where to put the three-diagonal
+// use-and-discard buffers: "2 thread blocks each with 64 warps of 32
+// threads, each requiring 36 bytes (3 scores of 4 bytes each), corresponds
+// to 144 KB of Shared Memory storage" — beyond current GPUs' shared memory
+// — "in contrast, the per-thread storage of 36 bytes can be accommodated
+// easily in the register space of each CUDA thread." This module computes
+// resident-warp occupancy under register / shared-memory / warp-slot limits
+// and reproduces that argument quantitatively (bench_buffer_placement).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/device_spec.hpp"
+
+namespace fastz::gpusim {
+
+// Per-warp resource footprint of a kernel.
+struct KernelResources {
+  std::uint32_t registers_per_thread = 32;  // 4-byte registers
+  std::uint32_t shared_bytes_per_warp = 0;
+};
+
+struct Occupancy {
+  std::uint32_t resident_warps_per_sm = 0;
+  std::string limiter;  // "warp slots" | "registers" | "shared memory"
+
+  // Fraction of the architectural warp-slot maximum.
+  double fraction(const DeviceSpec& spec) const {
+    return spec.max_resident_warps_per_sm == 0
+               ? 0.0
+               : static_cast<double>(resident_warps_per_sm) /
+                     spec.max_resident_warps_per_sm;
+  }
+};
+
+// Resident warps per SM under all three limits. Throws on zero-resource
+// kernels only in the degenerate sense of returning the slot maximum.
+Occupancy compute_occupancy(const DeviceSpec& spec, const KernelResources& resources);
+
+// The Section 3.2 comparison for the FastZ inspector kernel: the cyclic
+// buffers (3 diagonals x S/I/D x 4 bytes = 36 bytes per thread) either live
+// in shared memory or in registers (on top of a base register budget).
+struct BufferPlacementAnalysis {
+  std::uint64_t smem_bytes_for_full_occupancy = 0;  // the paper's "144 KB"
+  Occupancy with_shared_memory_buffers;
+  Occupancy with_register_buffers;
+};
+
+inline constexpr std::uint32_t kCyclicBufferBytesPerThread = 36;  // 3 x 3 x 4 B
+inline constexpr std::uint32_t kInspectorBaseRegisters = 16;      // non-buffer state
+// Shared memory the inspector needs per warp regardless of buffer
+// placement: the 16x16 eager-traceback tile plus the write-combining
+// staging line (Sections 3.1.2-3.1.3).
+inline constexpr std::uint32_t kEagerTileBytesPerWarp = 256;
+inline constexpr std::uint32_t kStagingBytesPerWarp = 128;
+// The paper's Section 3.2 concurrency example: "2 thread blocks each with
+// 64 warps of 32 threads".
+inline constexpr std::uint32_t kPaperExampleWarpsPerSm = 128;
+
+BufferPlacementAnalysis analyze_buffer_placement(const DeviceSpec& spec);
+
+}  // namespace fastz::gpusim

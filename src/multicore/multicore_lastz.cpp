@@ -1,0 +1,94 @@
+#include "multicore/multicore_lastz.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "align/extension.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace fastz {
+
+namespace {
+
+struct SeedOutcome {
+  Alignment alignment;
+  std::uint64_t cells = 0;
+  bool reported = false;
+};
+
+}  // namespace
+
+MulticoreResult run_multicore_lastz(const Sequence& a, const Sequence& b,
+                                    const ScoreParams& params,
+                                    const PipelineOptions& options,
+                                    const MulticoreOptions& mc) {
+  params.validate();
+  MulticoreResult result;
+  Timer total;
+
+  Timer stage;
+  const SpacedSeed seed = SpacedSeed::lastz_default();
+  const std::vector<SeedHit> hits = enumerate_seeds(a, b, options);
+  result.counters.seed_hits = hits.size();
+  result.counters.seeds_extended = hits.size();
+  result.counters.seed_time_s = stage.elapsed_s();
+
+  stage.reset();
+  ThreadPool pool(mc.threads);
+  result.threads_used = pool.size();
+
+  // Per-seed outcome slots keep the output in seed order regardless of the
+  // schedule, making static and dynamic runs (and the sequential pipeline)
+  // produce identical alignment lists.
+  std::vector<SeedOutcome> outcomes(hits.size());
+
+  auto process = [&](std::size_t k) {
+    GappedExtension ext =
+        extend_seed(a, b, hits[k], seed.span(), params, options.one_sided);
+    outcomes[k].cells = ext.total_cells();
+    if (ext.alignment.score >= params.gapped_threshold) {
+      outcomes[k].alignment = std::move(ext.alignment);
+      outcomes[k].reported = true;
+    }
+  };
+
+  if (mc.dynamic_schedule) {
+    // Work stealing: workers claim chunks from a shared cursor.
+    std::atomic<std::size_t> cursor{0};
+    const std::size_t chunk = std::max<std::size_t>(1, mc.chunk);
+    std::vector<std::future<void>> workers;
+    workers.reserve(pool.size());
+    for (std::size_t w = 0; w < pool.size(); ++w) {
+      workers.push_back(pool.submit([&] {
+        for (;;) {
+          const std::size_t begin = cursor.fetch_add(chunk);
+          if (begin >= outcomes.size()) return;
+          const std::size_t end = std::min(outcomes.size(), begin + chunk);
+          for (std::size_t k = begin; k < end; ++k) process(k);
+        }
+      }));
+    }
+    for (auto& w : workers) w.get();
+  } else {
+    // Static contiguous partitions — the paper's multi-process scheme.
+    pool.parallel_for(outcomes.size(), process);
+  }
+
+  for (SeedOutcome& outcome : outcomes) {
+    result.counters.dp_cells += outcome.cells;
+    if (outcome.reported) {
+      result.counters.traceback_columns += outcome.alignment.ops.size();
+      result.alignments.push_back(std::move(outcome.alignment));
+    }
+  }
+  if (options.deduplicate) deduplicate_alignments(result.alignments);
+  result.counters.extend_time_s = stage.elapsed_s();
+  result.counters.total_time_s = total.elapsed_s();
+
+  result.modeled_time_s = gpusim::multicore_lastz_time_s(
+      result.counters.dp_cells, gpusim::ryzen_3950x(), mc.model_processes);
+  return result;
+}
+
+}  // namespace fastz

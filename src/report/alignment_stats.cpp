@@ -1,0 +1,79 @@
+#include "report/alignment_stats.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fastz {
+
+AlignmentSetStats summarize_alignments(std::span<const Alignment> alignments,
+                                       const Sequence& a, const Sequence& b) {
+  AlignmentSetStats stats;
+  stats.count = alignments.size();
+  if (alignments.empty()) return stats;
+
+  std::vector<std::uint64_t> lengths;
+  lengths.reserve(alignments.size());
+  double identity_sum = 0.0;
+  for (const Alignment& aln : alignments) {
+    const std::uint64_t span = aln.a_end - aln.a_begin;
+    stats.aligned_bp += span;
+    stats.max_length = std::max(stats.max_length, aln.span());
+    stats.max_score = std::max(stats.max_score, aln.score);
+    identity_sum += aln.ops.empty() ? 0.0 : aln.identity(a, b);
+    lengths.push_back(aln.span());
+  }
+  stats.mean_identity = identity_sum / static_cast<double>(alignments.size());
+  stats.n50 = n50(std::move(lengths));
+  return stats;
+}
+
+std::uint64_t n50(std::vector<std::uint64_t> lengths) {
+  if (lengths.empty()) return 0;
+  std::sort(lengths.begin(), lengths.end(), std::greater<>());
+  const std::uint64_t total =
+      std::accumulate(lengths.begin(), lengths.end(), std::uint64_t{0});
+  std::uint64_t running = 0;
+  for (std::uint64_t len : lengths) {
+    running += len;
+    if (2 * running >= total) return len;
+  }
+  return lengths.back();
+}
+
+double segment_recall(std::span<const Alignment> alignments,
+                      std::span<const SegmentRecord> segments) {
+  if (segments.empty()) return 0.0;
+
+  // Merge alignment A-intervals, then measure per-segment overlap.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> intervals;
+  intervals.reserve(alignments.size());
+  for (const Alignment& aln : alignments) intervals.push_back({aln.a_begin, aln.a_end});
+  std::sort(intervals.begin(), intervals.end());
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> merged;
+  for (const auto& iv : intervals) {
+    if (!merged.empty() && iv.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, iv.second);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+
+  std::uint64_t segment_bp = 0;
+  std::uint64_t covered_bp = 0;
+  for (const SegmentRecord& seg : segments) {
+    const std::uint64_t s0 = seg.a_begin;
+    const std::uint64_t s1 = seg.a_begin + seg.a_len;
+    segment_bp += seg.a_len;
+    for (const auto& iv : merged) {
+      const std::uint64_t lo = std::max(s0, iv.first);
+      const std::uint64_t hi = std::min(s1, iv.second);
+      if (hi > lo) covered_bp += hi - lo;
+      if (iv.first >= s1) break;
+    }
+  }
+  return segment_bp == 0
+             ? 0.0
+             : static_cast<double>(covered_bp) / static_cast<double>(segment_bp);
+}
+
+}  // namespace fastz

@@ -1,0 +1,40 @@
+// Summary statistics over alignment sets.
+//
+// Used by the examples and the sensitivity experiments: aggregate counts,
+// lengths (including the assembly-style N50), identities, and — for
+// synthetic workloads whose planted homology segments are known — recall
+// (fraction of planted segment base pairs covered by reported alignments).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/alignment.hpp"
+#include "sequence/genome_synth.hpp"
+#include "sequence/sequence.hpp"
+
+namespace fastz {
+
+struct AlignmentSetStats {
+  std::size_t count = 0;
+  std::uint64_t aligned_bp = 0;    // sum of A-spans
+  std::uint64_t max_length = 0;    // largest span
+  std::uint64_t n50 = 0;           // N50 of spans
+  Score max_score = 0;
+  double mean_identity = 0.0;      // unweighted mean over alignments
+};
+
+AlignmentSetStats summarize_alignments(std::span<const Alignment> alignments,
+                                       const Sequence& a, const Sequence& b);
+
+// N50: the largest L such that alignments of span >= L cover at least half
+// of the total aligned bases. 0 for an empty set.
+std::uint64_t n50(std::vector<std::uint64_t> lengths);
+
+// Fraction of planted-segment base pairs (on A) covered by at least one
+// reported alignment. Segments and alignments may overlap arbitrarily.
+double segment_recall(std::span<const Alignment> alignments,
+                      std::span<const SegmentRecord> segments);
+
+}  // namespace fastz

@@ -1,0 +1,116 @@
+#include "report/experiment.hpp"
+
+#include <iostream>
+
+#include "baseline/feng_baseline.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace fastz {
+
+void add_harness_flags(CliParser& cli) {
+  cli.add_flag("scale", "chromosome-length scale relative to Table 1 (1.0 = full size)",
+               "0.03");
+  cli.add_flag("max-seeds", "seed-site cap per benchmark pair (paper: 1000000)", "12000");
+  cli.add_flag("sample-seed", "deterministic seed for seed-site sampling", "24397");
+  cli.add_flag("ydrop", "gapped-extension y-drop (LASTZ default: 9400; harness scales "
+                        "it with the chromosomes)", "2000");
+  cli.add_flag("quiet", "suppress progress output on stderr", "0");
+}
+
+HarnessOptions harness_options_from(const CliParser& cli) {
+  HarnessOptions options;
+  options.scale = cli.get_double("scale");
+  options.max_seeds = static_cast<std::size_t>(cli.get_int("max-seeds"));
+  options.sample_seed = static_cast<std::uint64_t>(cli.get_int("sample-seed"));
+  options.ydrop = static_cast<Score>(cli.get_int("ydrop"));
+  options.verbose = !cli.get_bool("quiet");
+  return options;
+}
+
+ScoreParams harness_score_params(const HarnessOptions& options) {
+  ScoreParams params = lastz_default_params();
+  params.ydrop = options.ydrop;
+  return params;
+}
+
+std::vector<PreparedPair> prepare_pairs(const std::vector<BenchmarkPair>& pairs,
+                                        const ScoreParams& params,
+                                        const HarnessOptions& options) {
+  std::vector<PreparedPair> prepared;
+  prepared.reserve(pairs.size());
+  for (const BenchmarkPair& spec : pairs) {
+    Timer timer;
+    PreparedPair p;
+    p.spec = spec;
+    p.data = generate_pair(spec.model, spec.generator_seed, spec.species_a, spec.species_b);
+
+    PipelineOptions base;
+    base.max_seeds = options.max_seeds;
+    base.sample_seed = options.sample_seed;
+    p.study = std::make_unique<FastzStudy>(p.data.a, p.data.b, params, base);
+
+    if (options.verbose) {
+      std::cerr << "[harness] " << spec.label << ": " << p.data.a.size() << " x "
+                << p.data.b.size() << " bp, " << p.study->seeds() << " seeds, "
+                << p.study->inspector_cells() << " search cells ("
+                << TextTable::num(timer.elapsed_s(), 1) << " s)\n";
+    }
+    prepared.push_back(std::move(p));
+  }
+  return prepared;
+}
+
+DeviceSet default_devices() {
+  return {gpusim::titan_x_pascal(), gpusim::v100_volta(), gpusim::rtx3080_ampere()};
+}
+
+double modeled_sequential_s(const FastzStudy& study) {
+  return gpusim::sequential_lastz_time_s(study.inspector_cells(), gpusim::ryzen_3950x());
+}
+
+SpeedupRow compute_speedups(const PreparedPair& pair) {
+  const DeviceSet devices = default_devices();
+  const FastzConfig config = FastzConfig::full();
+  const double t_seq = modeled_sequential_s(*pair.study);
+
+  SpeedupRow row;
+  row.label = pair.spec.label;
+
+  row.gpu_baseline_pascal =
+      t_seq / model_feng_baseline(*pair.study, devices.pascal).modeled_time_s;
+  row.gpu_baseline_volta =
+      t_seq / model_feng_baseline(*pair.study, devices.volta).modeled_time_s;
+  row.gpu_baseline_ampere =
+      t_seq / model_feng_baseline(*pair.study, devices.ampere).modeled_time_s;
+
+  row.multicore = t_seq / gpusim::multicore_lastz_time_s(pair.study->inspector_cells(),
+                                                         gpusim::ryzen_3950x(), 32);
+
+  row.fastz_pascal = t_seq / pair.study->derive(config, devices.pascal).modeled.total_s();
+  row.fastz_volta = t_seq / pair.study->derive(config, devices.volta).modeled.total_s();
+  row.fastz_ampere = t_seq / pair.study->derive(config, devices.ampere).modeled.total_s();
+  return row;
+}
+
+SpeedupRow mean_row(const std::vector<SpeedupRow>& rows) {
+  auto gather = [&](auto member) {
+    std::vector<double> v;
+    v.reserve(rows.size());
+    for (const auto& r : rows) v.push_back(r.*member);
+    return geometric_mean(v);
+  };
+  SpeedupRow mean;
+  mean.label = "mean";
+  mean.gpu_baseline_pascal = gather(&SpeedupRow::gpu_baseline_pascal);
+  mean.gpu_baseline_volta = gather(&SpeedupRow::gpu_baseline_volta);
+  mean.gpu_baseline_ampere = gather(&SpeedupRow::gpu_baseline_ampere);
+  mean.multicore = gather(&SpeedupRow::multicore);
+  mean.fastz_pascal = gather(&SpeedupRow::fastz_pascal);
+  mean.fastz_volta = gather(&SpeedupRow::fastz_volta);
+  mean.fastz_ampere = gather(&SpeedupRow::fastz_ampere);
+  return mean;
+}
+
+}  // namespace fastz

@@ -1,0 +1,87 @@
+// Scoring model for gapped whole-genome alignment, matching LASTZ defaults.
+//
+// LASTZ scores DNA alignments with the HOXD70 substitution matrix
+// (Chiaromonte, Yap & Miller 2002) and affine gap penalties: opening a gap
+// costs `gap_open + gap_extend` (the open penalty is charged together with
+// the first extension, exactly as in the Figure 1 recurrences of the FastZ
+// paper: I = max(I + s_e, S + s_o + s_e)).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+namespace fastz {
+
+// Alignment scores fit comfortably in 32 bits: chromosome-scale optimal
+// alignments score a few hundred thousand at most with HOXD70 magnitudes.
+using Score = std::int32_t;
+
+// Sentinel "minus infinity" that survives a few additions without wrapping.
+inline constexpr Score kNegativeInfinity = -(1 << 30);
+
+// Bases are stored 2-bit encoded: A=0, C=1, G=2, T=3 (see sequence module).
+inline constexpr int kAlphabetSize = 4;
+
+using SubstMatrix = std::array<std::array<Score, kAlphabetSize>, kAlphabetSize>;
+
+// HOXD70: the empirically derived matrix LASTZ uses by default for
+// inter-species DNA comparison.
+inline constexpr SubstMatrix kHoxd70 = {{
+    //        A     C     G     T
+    /*A*/ {{91, -114, -31, -123}},
+    /*C*/ {{-114, 100, -125, -31}},
+    /*G*/ {{-31, -125, 100, -114}},
+    /*T*/ {{-123, -31, -114, 91}},
+}};
+
+// Simple unit-style matrix used by tests where hand-checkable numbers help.
+inline constexpr SubstMatrix kUnitMatrix = {{
+    {{1, -1, -1, -1}},
+    {{-1, 1, -1, -1}},
+    {{-1, -1, 1, -1}},
+    {{-1, -1, -1, 1}},
+}};
+
+struct ScoreParams {
+  SubstMatrix subst = kHoxd70;
+  Score gap_open = -400;    // s_o: charged when a gap begins (plus one extend)
+  Score gap_extend = -30;   // s_e: charged per gap base
+  Score ydrop = 9400;       // gapped-extension termination threshold (LASTZ Y)
+  Score xdrop = 340;        // ungapped-extension termination threshold (LASTZ X)
+  Score gapped_threshold = 3000;    // minimum reported gapped score (LASTZ K)
+  Score ungapped_threshold = 3000;  // HSP threshold for the ungapped filter
+
+  constexpr Score substitution(std::uint8_t a, std::uint8_t b) const {
+    return subst[a][b];
+  }
+
+  // Validates the parameter signs the DP recurrences rely on.
+  void validate() const {
+    if (gap_open > 0 || gap_extend > 0) {
+      throw std::invalid_argument("ScoreParams: gap penalties must be <= 0");
+    }
+    if (ydrop < 0 || xdrop < 0) {
+      throw std::invalid_argument("ScoreParams: drop thresholds must be >= 0");
+    }
+  }
+};
+
+// LASTZ-default parameters (what the paper's "gapped LASTZ" runs with).
+inline ScoreParams lastz_default_params() { return ScoreParams{}; }
+
+// Test-friendly parameters: unit matrix, small gaps, effectively-unbounded
+// y-drop so pruned DP equals the full-matrix reference.
+inline ScoreParams test_params(Score ydrop = 1 << 28) {
+  ScoreParams p;
+  p.subst = kUnitMatrix;
+  p.gap_open = -3;
+  p.gap_extend = -1;
+  p.ydrop = ydrop;
+  p.xdrop = 10;
+  p.gapped_threshold = 0;
+  p.ungapped_threshold = 0;
+  return p;
+}
+
+}  // namespace fastz

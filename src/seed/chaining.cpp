@@ -1,0 +1,76 @@
+#include "seed/chaining.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fastz {
+
+namespace {
+
+// Connection penalty between consecutive anchors x -> y (y after x).
+double connection_penalty(const UngappedHsp& x, const UngappedHsp& y,
+                          const ChainOptions& options) {
+  const auto diag = [](const UngappedHsp& h) {
+    return static_cast<std::int64_t>(h.a_begin) - static_cast<std::int64_t>(h.b_begin);
+  };
+  const double diag_dist = std::abs(static_cast<double>(diag(y) - diag(x)));
+  const double anti_dist =
+      static_cast<double>((y.a_begin + y.b_begin) - (x.a_end + x.b_end));
+  return options.diag_penalty * diag_dist +
+         options.anti_penalty * std::max(0.0, anti_dist);
+}
+
+// y strictly follows x in both coordinates (colinearity).
+bool follows(const UngappedHsp& x, const UngappedHsp& y) {
+  return y.a_begin >= x.a_end && y.b_begin >= x.b_end;
+}
+
+}  // namespace
+
+std::vector<UngappedHsp> best_chain(std::vector<UngappedHsp> hsps,
+                                    const ChainOptions& options) {
+  if (hsps.empty()) return {};
+  std::sort(hsps.begin(), hsps.end(), [](const UngappedHsp& x, const UngappedHsp& y) {
+    return x.a_begin < y.a_begin || (x.a_begin == y.a_begin && x.b_begin < y.b_begin);
+  });
+
+  const std::size_t n = hsps.size();
+  std::vector<double> best(n);
+  std::vector<std::ptrdiff_t> prev(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    best[i] = static_cast<double>(hsps[i].score);
+    for (std::size_t j = 0; j < i; ++j) {
+      if (!follows(hsps[j], hsps[i])) continue;
+      const double candidate = best[j] + static_cast<double>(hsps[i].score) -
+                               connection_penalty(hsps[j], hsps[i], options);
+      if (candidate > best[i]) {
+        best[i] = candidate;
+        prev[i] = static_cast<std::ptrdiff_t>(j);
+      }
+    }
+  }
+
+  std::size_t tail = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (best[i] > best[tail]) tail = i;
+  }
+
+  std::vector<UngappedHsp> chain;
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(tail); i >= 0; i = prev[i]) {
+    chain.push_back(hsps[static_cast<std::size_t>(i)]);
+    if (prev[i] < 0) break;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+double chain_score(const std::vector<UngappedHsp>& chain, const ChainOptions& options) {
+  double score = 0.0;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    score += static_cast<double>(chain[i].score);
+    if (i > 0) score -= connection_penalty(chain[i - 1], chain[i], options);
+  }
+  return score;
+}
+
+}  // namespace fastz

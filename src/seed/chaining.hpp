@@ -1,0 +1,43 @@
+// HSP chaining (LASTZ's optional --chain stage).
+//
+// After ungapped filtering, LASTZ can reduce the anchor list to the single
+// best-scoring *colinear chain* of HSPs: a subsequence whose target and
+// query coordinates both strictly increase. Chaining throws away repeat-
+// induced off-diagonal anchors before the expensive gapped stage — another
+// sequential-flavored work reduction in the same spirit as Section 2.1's
+// (FastZ's evaluation, like the paper's, runs the unchained pipeline; the
+// stage is provided for drop-in completeness).
+//
+// Scoring follows LASTZ's simple model: the chain's score is the sum of its
+// HSP scores minus connection penalties proportional to the diagonal and
+// anti-diagonal distance between consecutive anchors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seed/ungapped_filter.hpp"
+
+namespace fastz {
+
+struct ChainOptions {
+  // Penalty per unit of diagonal difference between consecutive anchors
+  // (LASTZ's "chain diagonal penalty", default 0 there; a small value keeps
+  // chains tight).
+  double diag_penalty = 0.0;
+  // Penalty per unit of anti-diagonal (progression) distance.
+  double anti_penalty = 0.0;
+};
+
+// Returns the maximum-scoring colinear chain, in coordinate order.
+// O(n^2) dynamic program over anchors sorted by (a_begin, b_begin); anchor
+// counts after filtering are small (hundreds), so the quadratic cost is
+// irrelevant next to the DP stage.
+std::vector<UngappedHsp> best_chain(std::vector<UngappedHsp> hsps,
+                                    const ChainOptions& options = {});
+
+// Total score of a chain under the connection-penalty model (exposed for
+// tests).
+double chain_score(const std::vector<UngappedHsp>& chain, const ChainOptions& options);
+
+}  // namespace fastz

@@ -1,0 +1,89 @@
+#include "seed/seed_index.hpp"
+
+#include <algorithm>
+
+#include "util/prng.hpp"
+
+namespace fastz {
+
+SeedIndex::SeedIndex(const Sequence& target, const SpacedSeed& seed, std::uint32_t step)
+    : seed_(seed) {
+  if (step == 0) step = 1;
+  const std::size_t span = seed_.span();
+  if (target.size() < span) return;
+  const std::size_t last = target.size() - span;
+  entries_.reserve(last / step + 1);
+  const auto codes = target.codes();
+  for (std::size_t pos = 0; pos <= last; pos += step) {
+    entries_.push_back({seed_.word_at(codes, pos), static_cast<std::uint32_t>(pos)});
+  }
+  std::sort(entries_.begin(), entries_.end(), [](const Entry& x, const Entry& y) {
+    return x.word < y.word || (x.word == y.word && x.pos < y.pos);
+  });
+  positions_.resize(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) positions_[i] = entries_[i].pos;
+}
+
+std::span<const std::uint32_t> SeedIndex::lookup(std::uint32_t word) const noexcept {
+  const auto lo = std::lower_bound(
+      entries_.begin(), entries_.end(), word,
+      [](const Entry& e, std::uint32_t w) { return e.word < w; });
+  auto hi = lo;
+  while (hi != entries_.end() && hi->word == word) ++hi;
+  const auto offset = static_cast<std::size_t>(lo - entries_.begin());
+  return {positions_.data() + offset, static_cast<std::size_t>(hi - lo)};
+}
+
+std::vector<SeedHit> SeedIndex::find_hits(const Sequence& query, std::size_t max_hits,
+                                          std::uint64_t sample_seed,
+                                          bool allow_one_transition) const {
+  std::vector<SeedHit> hits;
+  const std::size_t span = seed_.span();
+  if (query.size() < span || entries_.empty()) return hits;
+  const auto codes = query.codes();
+  const std::size_t last = query.size() - span;
+  const std::size_t weight = seed_.weight();
+  for (std::size_t qpos = 0; qpos <= last; ++qpos) {
+    const std::uint32_t word = seed_.word_at(codes, qpos);
+    for (std::uint32_t tpos : lookup(word)) {
+      hits.push_back({tpos, static_cast<std::uint32_t>(qpos)});
+    }
+    if (allow_one_transition) {
+      // A transition flips the high bit of a base's 2-bit code (A=00 <->
+      // G=10, C=01 <-> T=11), so each care position's variant is one XOR.
+      for (std::size_t k = 0; k < weight; ++k) {
+        const std::uint32_t variant =
+            word ^ (0b10u << (2 * (weight - 1 - k)));
+        for (std::uint32_t tpos : lookup(variant)) {
+          hits.push_back({tpos, static_cast<std::uint32_t>(qpos)});
+        }
+      }
+    }
+  }
+  if (max_hits != 0 && hits.size() > max_hits) {
+    hits = downsample_hits(std::move(hits), max_hits, sample_seed);
+  }
+  return hits;
+}
+
+std::vector<SeedHit> downsample_hits(std::vector<SeedHit> hits, std::size_t target_count,
+                                     std::uint64_t seed) {
+  if (hits.size() <= target_count) return hits;
+  // Reservoir-free uniform pick: choose a random sorted subset of indices by
+  // stepping with jitter. A full Fisher-Yates of millions of hits would be
+  // fine too, but this preserves the original (diagonal-ish) order, which
+  // downstream batching benefits from.
+  Xoshiro256 rng(seed);
+  std::vector<SeedHit> out;
+  out.reserve(target_count);
+  const double stride = static_cast<double>(hits.size()) / static_cast<double>(target_count);
+  double cursor = rng.uniform() * stride;
+  while (out.size() < target_count && cursor < static_cast<double>(hits.size())) {
+    out.push_back(hits[static_cast<std::size_t>(cursor)]);
+    cursor += stride;
+  }
+  while (out.size() < target_count) out.push_back(hits.back());
+  return out;
+}
+
+}  // namespace fastz

@@ -1,0 +1,70 @@
+// Seed-word index and seed-hit enumeration (stage 1 of the WGA pipeline).
+//
+// The index stores every (word, position) of the target sequence sorted by
+// word; queries binary-search the word's range. The sort-based layout keeps
+// memory proportional to the sequence (a direct-addressed table over the
+// 4^12 word space would dwarf small inputs) and gives cache-friendly
+// sequential hit enumeration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "seed/spaced_seed.hpp"
+#include "sequence/sequence.hpp"
+
+namespace fastz {
+
+// A seed hit: `a_pos` / `b_pos` are the starting offsets of the matching
+// seed window in the target (A) and query (B) sequences.
+struct SeedHit {
+  std::uint32_t a_pos = 0;
+  std::uint32_t b_pos = 0;
+
+  friend bool operator==(const SeedHit&, const SeedHit&) = default;
+};
+
+class SeedIndex {
+ public:
+  // Builds the index over `target`. `step` indexes every step-th position
+  // (LASTZ's Z parameter; default 1 = every position).
+  SeedIndex(const Sequence& target, const SpacedSeed& seed, std::uint32_t step = 1);
+
+  const SpacedSeed& seed() const noexcept { return seed_; }
+  std::size_t indexed_positions() const noexcept { return entries_.size(); }
+
+  // Target positions whose word equals `word` (ascending).
+  std::span<const std::uint32_t> lookup(std::uint32_t word) const noexcept;
+
+  // Enumerates all seed hits against `query`. `max_hits` caps the result by
+  // deterministic uniform downsampling (the paper evaluates a fixed number
+  // of seed sites per benchmark — Section 4: "a million seed sites");
+  // 0 means unlimited.
+  //
+  // `allow_one_transition` implements LASTZ's default seed tolerance: a hit
+  // may additionally differ by a single transition (A<->G or C<->T) at one
+  // care position. Each query word then probes its 12 transition variants
+  // besides itself, which raises sensitivity in diverged DNA where
+  // transitions dominate substitutions.
+  std::vector<SeedHit> find_hits(const Sequence& query, std::size_t max_hits = 0,
+                                 std::uint64_t sample_seed = 0x5eedull,
+                                 bool allow_one_transition = false) const;
+
+ private:
+  struct Entry {
+    std::uint32_t word;
+    std::uint32_t pos;
+  };
+
+  SpacedSeed seed_;
+  std::vector<Entry> entries_;      // sorted by (word, pos)
+  std::vector<std::uint32_t> positions_;  // pos of entries_, same order
+};
+
+// Deterministically downsamples `hits` to `target_count` elements, uniformly
+// across the input order (exposed for tests).
+std::vector<SeedHit> downsample_hits(std::vector<SeedHit> hits, std::size_t target_count,
+                                     std::uint64_t seed);
+
+}  // namespace fastz

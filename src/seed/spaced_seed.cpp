@@ -1,0 +1,32 @@
+#include "seed/spaced_seed.hpp"
+
+#include <stdexcept>
+
+namespace fastz {
+
+SpacedSeed::SpacedSeed(std::string_view pattern) : pattern_(pattern), span_(pattern.size()) {
+  if (pattern.empty()) throw std::invalid_argument("SpacedSeed: empty pattern");
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    switch (pattern[i]) {
+      case '1':
+        care_.push_back(static_cast<std::uint32_t>(i));
+        break;
+      case '0':
+        break;
+      default:
+        throw std::invalid_argument("SpacedSeed: pattern must be 0/1");
+    }
+  }
+  if (care_.empty()) throw std::invalid_argument("SpacedSeed: zero weight");
+  if (care_.size() > 16) throw std::invalid_argument("SpacedSeed: weight > 16");
+}
+
+std::uint32_t SpacedSeed::word_at(std::span<const BaseCode> seq, std::size_t pos) const noexcept {
+  std::uint32_t word = 0;
+  for (std::uint32_t offset : care_) {
+    word = (word << 2) | (seq[pos + offset] & 3u);
+  }
+  return word;
+}
+
+}  // namespace fastz

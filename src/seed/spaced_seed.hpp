@@ -1,0 +1,52 @@
+// Spaced-seed word extraction.
+//
+// LASTZ's default seed is the 19-bp "12-of-19" spaced pattern
+// 1110100110010101111: a seed hit requires exact base identity at the twelve
+// `1` positions; the seven `0` positions are wildcards. Spaced seeds are
+// more sensitive than contiguous k-mers at equal weight (Ma, Tromp & Li
+// 2002), which is why LASTZ (and stage 1 of the paper's pipeline, Section 2)
+// uses them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sequence/dna.hpp"
+
+namespace fastz {
+
+class SpacedSeed {
+ public:
+  // `pattern` is a string of '1' (care) and '0' (wildcard) characters.
+  // Throws std::invalid_argument for empty patterns, other characters, or
+  // weight > 16 (words must fit 32 bits at 2 bits/base).
+  explicit SpacedSeed(std::string_view pattern);
+
+  // LASTZ's default 12-of-19 seed.
+  static SpacedSeed lastz_default() { return SpacedSeed("1110100110010101111"); }
+
+  std::size_t span() const noexcept { return span_; }      // total pattern length
+  std::size_t weight() const noexcept { return care_.size(); }  // number of care positions
+  const std::string& pattern() const noexcept { return pattern_; }
+
+  // Number of distinct words = 4^weight.
+  std::uint64_t word_space() const noexcept { return 1ull << (2 * weight()); }
+
+  // Packs the care-position bases of window [pos, pos + span) into a word.
+  // Pre: pos + span() <= sequence length.
+  std::uint32_t word_at(std::span<const BaseCode> seq, std::size_t pos) const noexcept;
+
+  // Positions (relative to the window start) that participate in the word.
+  std::span<const std::uint32_t> care_positions() const noexcept { return care_; }
+
+ private:
+  std::string pattern_;
+  std::size_t span_ = 0;
+  std::vector<std::uint32_t> care_;
+};
+
+}  // namespace fastz

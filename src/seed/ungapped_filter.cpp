@@ -1,0 +1,77 @@
+#include "seed/ungapped_filter.hpp"
+
+#include <algorithm>
+
+namespace fastz {
+
+UngappedHsp extend_ungapped(const Sequence& a, const Sequence& b, const SeedHit& hit,
+                            std::size_t seed_span, const ScoreParams& params) {
+  UngappedHsp hsp;
+  hsp.seed = hit;
+
+  // Score of the seed window itself.
+  Score seed_score = 0;
+  for (std::size_t k = 0; k < seed_span; ++k) {
+    seed_score += params.substitution(a[hit.a_pos + k], b[hit.b_pos + k]);
+  }
+
+  // Rightward extension from the end of the seed.
+  Score right_best = 0;
+  std::size_t right_len = 0;
+  {
+    Score running = 0;
+    std::size_t ai = hit.a_pos + seed_span;
+    std::size_t bi = hit.b_pos + seed_span;
+    std::size_t len = 0;
+    while (ai < a.size() && bi < b.size()) {
+      running += params.substitution(a[ai], b[bi]);
+      ++ai, ++bi, ++len;
+      if (running > right_best) {
+        right_best = running;
+        right_len = len;
+      } else if (running < right_best - params.xdrop) {
+        break;
+      }
+    }
+  }
+
+  // Leftward extension from the start of the seed.
+  Score left_best = 0;
+  std::size_t left_len = 0;
+  {
+    Score running = 0;
+    std::size_t ai = hit.a_pos;
+    std::size_t bi = hit.b_pos;
+    std::size_t len = 0;
+    while (ai > 0 && bi > 0) {
+      --ai, --bi, ++len;
+      running += params.substitution(a[ai], b[bi]);
+      if (running > left_best) {
+        left_best = running;
+        left_len = len;
+      } else if (running < left_best - params.xdrop) {
+        break;
+      }
+    }
+  }
+
+  hsp.a_begin = hit.a_pos - static_cast<std::uint32_t>(left_len);
+  hsp.b_begin = hit.b_pos - static_cast<std::uint32_t>(left_len);
+  hsp.a_end = hit.a_pos + static_cast<std::uint32_t>(seed_span + right_len);
+  hsp.b_end = hit.b_pos + static_cast<std::uint32_t>(seed_span + right_len);
+  hsp.score = seed_score + left_best + right_best;
+  return hsp;
+}
+
+std::vector<UngappedHsp> filter_seeds(const Sequence& a, const Sequence& b,
+                                      const std::vector<SeedHit>& hits,
+                                      std::size_t seed_span, const ScoreParams& params) {
+  std::vector<UngappedHsp> kept;
+  for (const auto& hit : hits) {
+    UngappedHsp hsp = extend_ungapped(a, b, hit, seed_span, params);
+    if (hsp.score >= params.ungapped_threshold) kept.push_back(hsp);
+  }
+  return kept;
+}
+
+}  // namespace fastz

@@ -1,0 +1,44 @@
+// Ungapped x-drop extension filter (stage 2 of the WGA pipeline).
+//
+// This is the filtering stage whose use distinguishes "ungapped LASTZ"
+// (faster, less sensitive — what SegAlign accelerates) from the
+// high-sensitivity "gapped LASTZ" that FastZ targets. Each seed hit is
+// extended without gaps in both directions; extension in a direction stops
+// when the running score falls `xdrop` below the best seen. Hits whose best
+// ungapped score (HSP score) is below `ungapped_threshold` are discarded —
+// dropping some seeds that gapped extension would have grown into
+// high-scoring alignments, which is exactly the sensitivity loss Figure 2
+// of the paper illustrates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "score/score_params.hpp"
+#include "seed/seed_index.hpp"
+#include "sequence/sequence.hpp"
+
+namespace fastz {
+
+// An ungapped high-scoring segment pair.
+struct UngappedHsp {
+  SeedHit seed;              // the originating hit
+  std::uint32_t a_begin = 0; // extended segment in A, [a_begin, a_end)
+  std::uint32_t a_end = 0;
+  std::uint32_t b_begin = 0; // same length segment in B
+  std::uint32_t b_end = 0;
+  Score score = 0;
+};
+
+// Extends one seed hit without gaps. Always succeeds; the caller compares
+// `score` against the threshold.
+UngappedHsp extend_ungapped(const Sequence& a, const Sequence& b, const SeedHit& hit,
+                            std::size_t seed_span, const ScoreParams& params);
+
+// Applies the filter to all hits; returns the seeds whose HSP score clears
+// `params.ungapped_threshold`, along with their HSPs.
+std::vector<UngappedHsp> filter_seeds(const Sequence& a, const Sequence& b,
+                                      const std::vector<SeedHit>& hits,
+                                      std::size_t seed_span, const ScoreParams& params);
+
+}  // namespace fastz

@@ -1,0 +1,58 @@
+// Benchmark workload presets mirroring the paper's evaluation inputs.
+//
+// Table 1 lists seven species (two nematodes, two fruit flies, three
+// mosquitoes) with chromosome sizes; Figure 6 defines nine same-genus
+// pairwise alignments (C1_{j,j} for j=1..5, D1_{2R,2}, A1/A2/A3_{X,X}) and
+// Figure 10 defines cross-genus pairs. Real assemblies are unavailable
+// offline, so each pair maps to a synthetic PairModel (genome_synth.hpp)
+// whose homology-segment densities are tuned per genus to reproduce the
+// *shape* of Table 2's alignment-length census: nematodes with the largest
+// bins 3-4, mosquitoes smaller, the fruit-fly pair nearly empty beyond bin2,
+// and cross-genus pairs with bins 3-4 empty (Section 5.4).
+//
+// `scale` shrinks chromosome lengths relative to Table 1 (scale = 1 means
+// the paper's full sizes); segment densities are per-Mbp so the census
+// fractions stay comparable across scales.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sequence/genome_synth.hpp"
+
+namespace fastz {
+
+struct SpeciesInfo {
+  std::string common_name;  // "Nematodes", ...
+  std::string species;      // "C. elegans (chr1)"
+  std::uint64_t basepairs;  // Table 1 value
+};
+
+// The Table 1 inventory, verbatim.
+std::vector<SpeciesInfo> table1_species();
+
+struct BenchmarkPair {
+  std::string label;      // e.g. "C1_1,1"
+  std::string species_a;  // e.g. "C. elegans (chr1)"
+  std::string species_b;
+  std::uint64_t full_length_a = 0;  // Table 1 bp (before scaling)
+  std::uint64_t full_length_b = 0;
+  PairModel model;                  // scaled generator model
+  std::uint64_t generator_seed = 0; // deterministic per pair
+  bool cross_genus = false;
+};
+
+// The nine same-genus alignments of Figure 6, ordered as in Figure 7 / Table 2
+// (decreasing bin-4 census): C1_5,5; C1_2,2; C1_1,1; C1_3,3; C1_4,4; A1; A2;
+// A3; D1_2R,2.
+std::vector<BenchmarkPair> same_genus_pairs(double scale);
+
+// Cross-genus pairs of Figure 10 (nematode x fruit fly, nematode x mosquito,
+// fruit fly x mosquito), used by the Figure 11 experiment.
+std::vector<BenchmarkPair> cross_genus_pairs(double scale);
+
+// Look up a pair by label across both sets; throws if unknown.
+BenchmarkPair find_pair(const std::string& label, double scale);
+
+}  // namespace fastz

@@ -1,0 +1,55 @@
+// 2-bit DNA base encoding.
+//
+// All alignment kernels operate on 2-bit codes (A=0, C=1, G=2, T=3) so the
+// substitution matrix is a direct 4x4 lookup. Ambiguity codes (N, IUPAC) are
+// resolved at FASTA-parse time (see fasta.hpp) rather than threaded through
+// every DP inner loop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace fastz {
+
+using BaseCode = std::uint8_t;
+
+inline constexpr BaseCode kBaseA = 0;
+inline constexpr BaseCode kBaseC = 1;
+inline constexpr BaseCode kBaseG = 2;
+inline constexpr BaseCode kBaseT = 3;
+
+// Returns the 2-bit code for an unambiguous base character (case
+// insensitive), or nullopt for anything else (N, IUPAC codes, gaps, ...).
+constexpr std::optional<BaseCode> encode_base(char c) noexcept {
+  switch (c) {
+    case 'A': case 'a': return kBaseA;
+    case 'C': case 'c': return kBaseC;
+    case 'G': case 'g': return kBaseG;
+    case 'T': case 't': return kBaseT;
+    default: return std::nullopt;
+  }
+}
+
+constexpr char decode_base(BaseCode code) noexcept {
+  constexpr char kLetters[4] = {'A', 'C', 'G', 'T'};
+  return kLetters[code & 3u];
+}
+
+// Watson-Crick complement in code space: A<->T (0<->3), C<->G (1<->2).
+constexpr BaseCode complement(BaseCode code) noexcept {
+  return static_cast<BaseCode>(3u - (code & 3u));
+}
+
+// True for purine->purine / pyrimidine->pyrimidine substitutions, which
+// occur more often in real evolution (the generator biases toward them).
+constexpr bool is_transition(BaseCode a, BaseCode b) noexcept {
+  // Purines: A(0), G(2); pyrimidines: C(1), T(3). Same parity => same class.
+  return a != b && ((a ^ b) & 1u) == 0;
+}
+
+// The transition partner of a base (A<->G, C<->T).
+constexpr BaseCode transition_of(BaseCode code) noexcept {
+  return static_cast<BaseCode>((code + 2u) & 3u);
+}
+
+}  // namespace fastz

@@ -1,0 +1,108 @@
+#include "sequence/fasta.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace fastz {
+
+namespace {
+
+std::uint64_t name_hash(const std::string& name) {
+  // FNV-1a; only used to derive a deterministic randomization stream.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<Sequence> read_fasta(std::istream& in, const FastaOptions& options) {
+  std::vector<Sequence> records;
+  std::string name;
+  std::vector<BaseCode> bases;
+  Xoshiro256 rng(0);
+  bool have_record = false;
+
+  auto flush = [&] {
+    if (have_record) {
+      records.emplace_back(std::move(name), std::move(bases));
+      name.clear();
+      bases.clear();
+    }
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      // Name is the first whitespace-delimited token after '>'.
+      std::size_t start = 1;
+      while (start < line.size() && std::isspace(static_cast<unsigned char>(line[start]))) {
+        ++start;
+      }
+      std::size_t end = start;
+      while (end < line.size() && !std::isspace(static_cast<unsigned char>(line[end]))) {
+        ++end;
+      }
+      name = line.substr(start, end - start);
+      if (name.empty()) throw std::runtime_error("read_fasta: empty record name");
+      rng = Xoshiro256(name_hash(name) ^ options.seed);
+      have_record = true;
+      continue;
+    }
+    if (!have_record) {
+      throw std::runtime_error("read_fasta: sequence data before first header");
+    }
+    for (char c : line) {
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      if (auto code = encode_base(c)) {
+        bases.push_back(*code);
+      } else if (options.randomize_ambiguous) {
+        bases.push_back(static_cast<BaseCode>(rng.below(4)));
+      } else {
+        throw std::runtime_error(std::string("read_fasta: ambiguous base '") + c + "'");
+      }
+    }
+  }
+  flush();
+  return records;
+}
+
+std::vector<Sequence> read_fasta_file(const std::string& path, const FastaOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_fasta_file: cannot open " + path);
+  return read_fasta(in, options);
+}
+
+void write_fasta(std::ostream& out, const std::vector<Sequence>& records,
+                 std::size_t line_width) {
+  if (line_width == 0) throw std::invalid_argument("write_fasta: zero line width");
+  for (const auto& seq : records) {
+    out << '>' << seq.name() << '\n';
+    const std::size_t n = seq.size();
+    for (std::size_t i = 0; i < n; i += line_width) {
+      const std::size_t end = std::min(n, i + line_width);
+      for (std::size_t j = i; j < end; ++j) out << decode_base(seq[j]);
+      out << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path, const std::vector<Sequence>& records,
+                      std::size_t line_width) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_fasta_file: cannot open " + path);
+  write_fasta(out, records, line_width);
+}
+
+}  // namespace fastz

@@ -1,0 +1,38 @@
+// FASTA reading and writing.
+//
+// Ambiguity handling: characters outside ACGT (N and the IUPAC codes) are
+// replaced with a base drawn from a PRNG seeded by the record name, so the
+// substitution is deterministic per file. This mirrors what seed-and-extend
+// aligners effectively do (N never participates in an exact-match seed;
+// random replacement keeps it from spuriously matching with probability
+// 3/4 per base) while keeping the 2-bit pipeline simple.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sequence/sequence.hpp"
+
+namespace fastz {
+
+struct FastaOptions {
+  // If false, any non-ACGT character throws instead of being randomized.
+  bool randomize_ambiguous = true;
+  // Extra entropy mixed into the per-record randomization seed.
+  std::uint64_t seed = 0;
+};
+
+// Parses all records from a stream. Throws std::runtime_error on malformed
+// input (content before the first header, empty names).
+std::vector<Sequence> read_fasta(std::istream& in, const FastaOptions& options = {});
+std::vector<Sequence> read_fasta_file(const std::string& path,
+                                      const FastaOptions& options = {});
+
+// Writes records with the conventional 60-column line wrap.
+void write_fasta(std::ostream& out, const std::vector<Sequence>& records,
+                 std::size_t line_width = 60);
+void write_fasta_file(const std::string& path, const std::vector<Sequence>& records,
+                      std::size_t line_width = 60);
+
+}  // namespace fastz

@@ -1,0 +1,54 @@
+#include "sequence/sequence.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fastz {
+
+Sequence Sequence::from_string(std::string name, std::string_view dna) {
+  std::vector<BaseCode> codes;
+  codes.reserve(dna.size());
+  for (char c : dna) {
+    auto code = encode_base(c);
+    if (!code) {
+      throw std::invalid_argument("Sequence::from_string: non-ACGT character '" +
+                                  std::string(1, c) + "'");
+    }
+    codes.push_back(*code);
+  }
+  return Sequence(std::move(name), std::move(codes));
+}
+
+std::span<const BaseCode> Sequence::codes(std::size_t offset, std::size_t count) const {
+  if (offset + count > bases_.size()) {
+    throw std::out_of_range("Sequence::codes: window out of range");
+  }
+  return {bases_.data() + offset, count};
+}
+
+Sequence Sequence::subsequence(std::size_t offset, std::size_t count,
+                               std::string name) const {
+  auto window = codes(offset, count);
+  if (name.empty()) {
+    name = name_ + ":" + std::to_string(offset) + "-" + std::to_string(offset + count);
+  }
+  return Sequence(std::move(name), std::vector<BaseCode>(window.begin(), window.end()));
+}
+
+Sequence Sequence::reverse_complement(std::string name) const {
+  std::vector<BaseCode> rc(bases_.size());
+  for (std::size_t i = 0; i < bases_.size(); ++i) {
+    rc[bases_.size() - 1 - i] = complement(bases_[i]);
+  }
+  if (name.empty()) name = name_ + "_rc";
+  return Sequence(std::move(name), std::move(rc));
+}
+
+std::string Sequence::to_string() const {
+  std::string s;
+  s.reserve(bases_.size());
+  for (BaseCode c : bases_) s.push_back(decode_base(c));
+  return s;
+}
+
+}  // namespace fastz

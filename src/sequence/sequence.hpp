@@ -1,0 +1,52 @@
+// Owning DNA sequence container.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sequence/dna.hpp"
+
+namespace fastz {
+
+// A named chromosome/contig stored as 2-bit codes (one code per byte; the
+// alignment kernels are the bandwidth-critical part, not sequence storage,
+// and byte addressing keeps the inner loops branch-free).
+class Sequence {
+ public:
+  Sequence() = default;
+  Sequence(std::string name, std::vector<BaseCode> bases)
+      : name_(std::move(name)), bases_(std::move(bases)) {}
+
+  // Parses an ACGT string; throws std::invalid_argument on other characters.
+  static Sequence from_string(std::string name, std::string_view dna);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return bases_.size(); }
+  bool empty() const noexcept { return bases_.empty(); }
+
+  BaseCode operator[](std::size_t i) const noexcept { return bases_[i]; }
+  BaseCode at(std::size_t i) const { return bases_.at(i); }
+
+  std::span<const BaseCode> codes() const noexcept { return bases_; }
+  std::span<const BaseCode> codes(std::size_t offset, std::size_t count) const;
+
+  // Copy of [offset, offset + count) as a new sequence.
+  Sequence subsequence(std::size_t offset, std::size_t count,
+                       std::string name = {}) const;
+
+  Sequence reverse_complement(std::string name = {}) const;
+
+  std::string to_string() const;
+
+  void append(BaseCode code) { bases_.push_back(code); }
+  void reserve(std::size_t n) { bases_.reserve(n); }
+
+ private:
+  std::string name_;
+  std::vector<BaseCode> bases_;
+};
+
+}  // namespace fastz

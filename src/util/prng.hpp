@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All FastZ workload generators take an explicit seed so that every
+// benchmark, test, and example is reproducible bit-for-bit across runs and
+// machines. We use splitmix64 for seeding and xoshiro256** as the main
+// generator (fast, high quality, trivially copyable — unlike std::mt19937
+// whose state is 2.5 KB and whose streams differ across standard libraries
+// in subtle distribution details).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace fastz {
+
+// splitmix64: used to expand a single 64-bit seed into generator state.
+// Passes BigCrush when used as a generator itself; here it is only a seeder.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: general-purpose 64-bit generator (Blackman & Vigna).
+// Satisfies the C++ UniformRandomBitGenerator concept so it can be used
+// with <random> distributions when needed.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x8badf00dcafef00dull) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ull; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction;
+  // the tiny modulo bias (< 2^-64 * bound) is irrelevant for workload
+  // synthesis and avoids a rejection loop in hot generator paths.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  // Geometric number of trials until first success (>= 1) for probability p.
+  // Used for indel length models. Clamped to avoid pathological lengths when
+  // p is extremely small.
+  std::uint64_t geometric(double p, std::uint64_t cap = 1u << 20) noexcept {
+    std::uint64_t n = 1;
+    while (n < cap && !chance(p)) ++n;
+    return n;
+  }
+
+  // Derive an independent child stream (for per-thread / per-task use).
+  Xoshiro256 split() noexcept { return Xoshiro256(operator()()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace fastz

@@ -1,0 +1,74 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fastz {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double geometric_mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) throw std::invalid_argument("geometric_mean: nonpositive value");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> upper_edges)
+    : edges_(std::move(upper_edges)), counts_(edges_.size() + 1, 0) {
+  if (!std::is_sorted(edges_.begin(), edges_.end())) {
+    throw std::invalid_argument("Histogram: edges must be ascending");
+  }
+}
+
+void Histogram::add(std::uint64_t value) noexcept {
+  std::size_t bin = 0;
+  while (bin < edges_.size() && value > edges_[bin]) ++bin;
+  ++counts_[bin];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.edges_ != edges_) throw std::invalid_argument("Histogram: edge mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+std::uint64_t Histogram::total() const noexcept {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+}  // namespace fastz

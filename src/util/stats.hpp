@@ -1,0 +1,62 @@
+// Small descriptive-statistics helpers used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fastz {
+
+// Streaming accumulator for count / mean / min / max / variance (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Geometric mean of strictly positive values; returns 0 for empty input.
+// The paper reports mean speedups across benchmarks; speedup aggregation is
+// conventionally geometric.
+double geometric_mean(std::span<const double> values);
+
+// p in [0, 100]; linear interpolation between order statistics.
+// Copies and sorts; intended for end-of-run reporting, not hot paths.
+double percentile(std::vector<double> values, double p);
+
+// Histogram with caller-supplied upper bin edges (values > last edge fall in
+// a final overflow bin). Used for alignment-length censuses (Table 2).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> upper_edges);
+
+  void add(std::uint64_t value) noexcept;
+  void merge(const Histogram& other);
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const noexcept;
+  const std::vector<std::uint64_t>& edges() const noexcept { return edges_; }
+
+ private:
+  std::vector<std::uint64_t> edges_;   // ascending upper bounds (inclusive)
+  std::vector<std::uint64_t> counts_;  // edges_.size() + 1 (overflow)
+};
+
+}  // namespace fastz

@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace fastz {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() > header_.size()) {
+    throw std::invalid_argument("TextTable: row wider than header");
+  }
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::num(std::uint64_t v) { return std::to_string(v); }
+std::string TextTable::num(std::int64_t v) { return std::to_string(v); }
+
+void TextTable::render(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      if (c == 0) {
+        os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      } else {
+        os << std::right << std::setw(static_cast<int>(widths[c])) << row[c];
+      }
+    }
+    os << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+void TextTable::render_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string ascii_bar(double fraction, std::size_t width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto filled = static_cast<std::size_t>(std::lround(fraction * static_cast<double>(width)));
+  return std::string(filled, '#');
+}
+
+}  // namespace fastz

@@ -1,0 +1,56 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// reproduces; this formatter keeps that output aligned and diffable, and can
+// also emit CSV for plotting.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fastz {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Append a row. Rows shorter than the header are padded with empty cells;
+  // longer rows are an error.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision, integers exactly.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+
+  // Render with column alignment. First column left-aligned, the rest
+  // right-aligned (conventional for numeric tables).
+  void render(std::ostream& os) const;
+  std::string to_string() const;
+
+  // Comma-separated output with the same header/rows.
+  void render_csv(std::ostream& os) const;
+
+  // Convenience for benches with a --csv flag.
+  void render(std::ostream& os, bool csv) const {
+    if (csv) {
+      render_csv(os);
+    } else {
+      render(os);
+    }
+  }
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Horizontal ASCII bar used to sketch the paper's bar charts in text output:
+// `bar(0.5, 40)` -> 20 '#' characters.
+std::string ascii_bar(double fraction, std::size_t width);
+
+}  // namespace fastz

@@ -1,0 +1,29 @@
+// Wall-clock timing helpers for benchmarks and the experiment harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace fastz {
+
+// Monotonic stopwatch. `elapsed_s()` may be called repeatedly; `reset()`
+// restarts the epoch.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  double elapsed_s() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const noexcept { return elapsed_s() * 1e3; }
+  double elapsed_us() const noexcept { return elapsed_s() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fastz

@@ -1,0 +1,116 @@
+#include "align/alignment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastz {
+namespace {
+
+TEST(Alignment, CigarRunLengthEncodes) {
+  Alignment aln;
+  aln.ops = {AlignOp::Match, AlignOp::Match, AlignOp::Delete, AlignOp::Match,
+             AlignOp::Insert, AlignOp::Insert};
+  EXPECT_EQ(aln.cigar(), "2M1D1M2I");
+}
+
+TEST(Alignment, CigarEmpty) {
+  Alignment aln;
+  EXPECT_EQ(aln.cigar(), "");
+}
+
+TEST(Alignment, SpanIsMaxOfSides) {
+  Alignment aln;
+  aln.a_begin = 10;
+  aln.a_end = 30;
+  aln.b_begin = 100;
+  aln.b_end = 115;
+  EXPECT_EQ(aln.span(), 20u);
+}
+
+TEST(Alignment, IdentityCountsMatchColumnsOnly) {
+  const Sequence a = Sequence::from_string("a", "ACGT");
+  const Sequence b = Sequence::from_string("b", "AGT");
+  Alignment aln;
+  aln.a_begin = 0;
+  aln.a_end = 4;
+  aln.b_begin = 0;
+  aln.b_end = 3;
+  // A-, C/G mismatch... alignment: M(A,A) D(C) M(G,G) M(T,T)
+  aln.ops = {AlignOp::Match, AlignOp::Delete, AlignOp::Match, AlignOp::Match};
+  EXPECT_DOUBLE_EQ(aln.identity(a, b), 1.0);
+}
+
+TEST(Alignment, RescoreChargesAffineGaps) {
+  const Sequence a = Sequence::from_string("a", "AATTAA");
+  const Sequence b = Sequence::from_string("b", "AAAA");
+  ScoreParams p = test_params();  // match +1, open -3, extend -1
+  Alignment aln;
+  aln.a_begin = 0;
+  aln.a_end = 6;
+  aln.b_begin = 0;
+  aln.b_end = 4;
+  aln.ops = {AlignOp::Match, AlignOp::Match, AlignOp::Delete, AlignOp::Delete,
+             AlignOp::Match, AlignOp::Match};
+  // 4 matches + one gap of length 2: 4 - (3 + 1 + 1) = -1.
+  EXPECT_EQ(rescore_alignment(aln, a, b, p), -1);
+}
+
+TEST(Alignment, RescoreChargesTwoSeparateGapsTwice) {
+  const Sequence a = Sequence::from_string("a", "ATAATAA");
+  const Sequence b = Sequence::from_string("b", "AAAA");
+  ScoreParams p = test_params();
+  Alignment aln;
+  aln.a_begin = 0;
+  aln.a_end = 6;
+  aln.b_begin = 0;
+  aln.b_end = 4;
+  aln.ops = {AlignOp::Match, AlignOp::Delete, AlignOp::Match, AlignOp::Match,
+             AlignOp::Delete, AlignOp::Match};
+  // 4 matches - 2 x (open+extend) = 4 - 8 = -4.
+  EXPECT_EQ(rescore_alignment(aln, a, b, p), -4);
+}
+
+TEST(Alignment, RescoreRejectsInconsistentEndpoints) {
+  const Sequence a = Sequence::from_string("a", "ACGT");
+  const Sequence b = Sequence::from_string("b", "ACGT");
+  Alignment aln;
+  aln.a_end = 3;  // ops below consume 4 of A
+  aln.b_end = 4;
+  aln.ops = {AlignOp::Match, AlignOp::Match, AlignOp::Match, AlignOp::Match};
+  EXPECT_THROW(rescore_alignment(aln, a, b, test_params()), std::invalid_argument);
+}
+
+TEST(Alignment, CigarRoundtrip) {
+  Alignment aln;
+  aln.ops = {AlignOp::Match, AlignOp::Match, AlignOp::Delete, AlignOp::Match,
+             AlignOp::Insert, AlignOp::Insert, AlignOp::Match};
+  EXPECT_EQ(ops_from_cigar(aln.cigar()), aln.ops);
+}
+
+TEST(Alignment, OpsFromCigarParsesRuns) {
+  const auto ops = ops_from_cigar("3M1D2I");
+  ASSERT_EQ(ops.size(), 6u);
+  EXPECT_EQ(ops[0], AlignOp::Match);
+  EXPECT_EQ(ops[2], AlignOp::Match);
+  EXPECT_EQ(ops[3], AlignOp::Delete);
+  EXPECT_EQ(ops[4], AlignOp::Insert);
+  EXPECT_EQ(ops[5], AlignOp::Insert);
+}
+
+TEST(Alignment, OpsFromCigarEmpty) { EXPECT_TRUE(ops_from_cigar("").empty()); }
+
+TEST(Alignment, OpsFromCigarRejectsMalformed) {
+  EXPECT_THROW(ops_from_cigar("M"), std::invalid_argument);     // no run length
+  EXPECT_THROW(ops_from_cigar("0M"), std::invalid_argument);    // zero run
+  EXPECT_THROW(ops_from_cigar("3X"), std::invalid_argument);    // unknown op
+  EXPECT_THROW(ops_from_cigar("12"), std::invalid_argument);    // trailing digits
+  EXPECT_THROW(ops_from_cigar("2M3"), std::invalid_argument);   // trailing digits
+}
+
+TEST(Alignment, OpCharMapping) {
+  EXPECT_EQ(op_char(AlignOp::Match), 'M');
+  EXPECT_EQ(op_char(AlignOp::Insert), 'I');
+  EXPECT_EQ(op_char(AlignOp::Delete), 'D');
+}
+
+}  // namespace
+}  // namespace fastz

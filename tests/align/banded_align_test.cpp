@@ -1,0 +1,103 @@
+#include "align/banded_align.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/gotoh_reference.hpp"
+#include "testing/test_sequences.hpp"
+
+namespace fastz {
+namespace {
+
+using testing::related_pair;
+
+TEST(BandedAlign, MatchesExactEngineWhenPathFitsBand) {
+  // Low indel rate keeps the optimal path near the diagonal: a generous
+  // band must reproduce the exact result.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto [a, b] = related_pair(300, 0.9, seed, /*indel_rate=*/0.0);
+    const ScoreParams p = lastz_default_params();
+    const auto exact = ydrop_one_sided_align(a.codes(), b.codes(), p);
+    BandedOptions opts;
+    opts.half_width = 64;
+    const auto banded = banded_one_sided_align(a.codes(), b.codes(), p, opts);
+    EXPECT_EQ(banded.best.score, exact.best.score) << seed;
+    EXPECT_EQ(banded.best.i, exact.best.i) << seed;
+    EXPECT_EQ(banded.best.j, exact.best.j) << seed;
+  }
+}
+
+TEST(BandedAlign, MissesOptimumWhenIndelsEscapeTheBand) {
+  // Plant a large insertion: B = A's first half + 200 random bases + A's
+  // second half. The optimal alignment needs |i - j| to reach 200; a
+  // 64-wide band cannot, and must score strictly worse than the exact
+  // engine — the paper's reason for rejecting the banded heuristic
+  // (Sections 2.1, 2.3: "the optimal solution may not always be found
+  // within the band").
+  Xoshiro256 rng(77);
+  const Sequence left = random_sequence("l", 400, rng);
+  const Sequence right = random_sequence("r", 400, rng);
+  const Sequence insert = random_sequence("ins", 200, rng);
+  std::vector<BaseCode> a_codes(left.codes().begin(), left.codes().end());
+  a_codes.insert(a_codes.end(), right.codes().begin(), right.codes().end());
+  std::vector<BaseCode> b_codes(left.codes().begin(), left.codes().end());
+  b_codes.insert(b_codes.end(), insert.codes().begin(), insert.codes().end());
+  b_codes.insert(b_codes.end(), right.codes().begin(), right.codes().end());
+  const Sequence a("a", std::move(a_codes));
+  const Sequence b("b", std::move(b_codes));
+
+  const ScoreParams p = lastz_default_params();
+  const auto exact = ydrop_one_sided_align(a.codes(), b.codes(), p);
+  BandedOptions opts;
+  opts.half_width = 64;
+  const auto banded = banded_one_sided_align(a.codes(), b.codes(), p, opts);
+
+  // Exact engine bridges the 200-base insertion and aligns both halves.
+  EXPECT_GT(exact.best.i, 700u);
+  EXPECT_LT(banded.best.score, exact.best.score);
+}
+
+TEST(BandedAlign, CellCountBoundedByBandArea) {
+  auto [a, b] = related_pair(2000, 0.9, 3);
+  const ScoreParams p = lastz_default_params();
+  BandedOptions opts;
+  opts.half_width = 32;
+  opts.want_traceback = false;
+  const auto banded = banded_one_sided_align(a.codes(), b.codes(), p, opts);
+  // Band area: (2w + 1) cells per row at most.
+  EXPECT_LE(banded.cells,
+            std::uint64_t{banded.rows_explored + 1} * (2 * opts.half_width + 2));
+}
+
+TEST(BandedAlign, OpsRescoreCorrectly) {
+  auto [a, b] = related_pair(250, 0.88, 9);
+  const ScoreParams p = lastz_default_params();
+  const auto banded = banded_one_sided_align(a.codes(), b.codes(), p);
+  Alignment aln;
+  aln.a_end = banded.best.i;
+  aln.b_end = banded.best.j;
+  aln.ops = banded.ops;
+  EXPECT_EQ(rescore_alignment(aln, a, b, p), banded.best.score);
+}
+
+TEST(BandedAlign, NeverBeatsExactEngine) {
+  // The band is a restriction: its best score is at most the exact one.
+  for (std::uint64_t seed = 20; seed < 28; ++seed) {
+    auto [a, b] = related_pair(400, 0.8, seed, 0.01);
+    const ScoreParams p = lastz_default_params();
+    const auto exact = ydrop_one_sided_align(a.codes(), b.codes(), p);
+    BandedOptions opts;
+    opts.half_width = 16;
+    opts.want_traceback = false;
+    const auto banded = banded_one_sided_align(a.codes(), b.codes(), p, opts);
+    EXPECT_LE(banded.best.score, exact.best.score) << seed;
+  }
+}
+
+TEST(BandedAlign, EmptyInputs) {
+  const auto r = banded_one_sided_align(SeqView(), SeqView(), lastz_default_params());
+  EXPECT_EQ(r.best.score, 0);
+  EXPECT_TRUE(r.ops.empty());
+}
+
+}  // namespace
+}  // namespace fastz

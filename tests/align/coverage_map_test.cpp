@@ -1,0 +1,93 @@
+#include "align/coverage_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace fastz {
+namespace {
+
+Alignment rect(std::uint64_t a0, std::uint64_t a1, std::uint64_t b0, std::uint64_t b1) {
+  Alignment aln;
+  aln.a_begin = a0;
+  aln.a_end = a1;
+  aln.b_begin = b0;
+  aln.b_end = b1;
+  return aln;
+}
+
+TEST(CoverageMap, EmptyCoversNothing) {
+  CoverageMap map;
+  EXPECT_FALSE(map.covers(0, 0));
+  EXPECT_FALSE(map.covers(100, 100));
+}
+
+TEST(CoverageMap, PointInsideAndOutside) {
+  CoverageMap map;
+  map.add(rect(100, 200, 1000, 1100));
+  EXPECT_TRUE(map.covers(150, 1050));
+  EXPECT_TRUE(map.covers(100, 1000));    // inclusive begin
+  EXPECT_FALSE(map.covers(200, 1050));   // exclusive end (A)
+  EXPECT_FALSE(map.covers(150, 1100));   // exclusive end (B)
+  EXPECT_FALSE(map.covers(150, 500));    // wrong B range
+  EXPECT_FALSE(map.covers(50, 1050));    // before A range
+}
+
+TEST(CoverageMap, MultipleOverlappingRects) {
+  CoverageMap map;
+  map.add(rect(0, 100, 0, 100));
+  map.add(rect(50, 300, 40, 310));
+  map.add(rect(1000, 1200, 900, 1150));
+  EXPECT_TRUE(map.covers(75, 75));
+  EXPECT_TRUE(map.covers(250, 200));
+  EXPECT_TRUE(map.covers(1100, 1000));
+  EXPECT_FALSE(map.covers(500, 500));
+}
+
+TEST(CoverageMap, UnsortedInsertionOrder) {
+  CoverageMap map;
+  map.add(rect(500, 600, 500, 600));
+  map.add(rect(100, 200, 100, 200));
+  map.add(rect(300, 400, 300, 400));
+  EXPECT_TRUE(map.covers(150, 150));
+  EXPECT_TRUE(map.covers(350, 350));
+  EXPECT_TRUE(map.covers(550, 550));
+  EXPECT_FALSE(map.covers(250, 250));
+  EXPECT_EQ(map.size(), 3u);
+}
+
+TEST(CoverageMap, LongRectShadowsLaterStarts) {
+  // A rect starting early but ending late must be found even when many
+  // rects with larger a_begin exist (exercises the prefix-max early exit).
+  CoverageMap map;
+  map.add(rect(0, 10000, 0, 10000));
+  for (std::uint64_t k = 1; k <= 50; ++k) {
+    map.add(rect(k * 100, k * 100 + 10, k * 100, k * 100 + 10));
+  }
+  EXPECT_TRUE(map.covers(9999, 9999));
+  EXPECT_TRUE(map.covers(5555, 5555));
+}
+
+TEST(CoverageMap, RandomizedAgainstBruteForce) {
+  Xoshiro256 rng(42);
+  std::vector<Alignment> rects;
+  CoverageMap map;
+  for (int k = 0; k < 60; ++k) {
+    const std::uint64_t a0 = rng.below(5000);
+    const std::uint64_t b0 = rng.below(5000);
+    const Alignment r = rect(a0, a0 + 1 + rng.below(400), b0, b0 + 1 + rng.below(400));
+    rects.push_back(r);
+    map.add(r);
+  }
+  for (int q = 0; q < 2000; ++q) {
+    const std::uint64_t a = rng.below(6000);
+    const std::uint64_t b = rng.below(6000);
+    const bool brute = std::any_of(rects.begin(), rects.end(), [&](const Alignment& r) {
+      return r.a_begin <= a && a < r.a_end && r.b_begin <= b && b < r.b_end;
+    });
+    EXPECT_EQ(map.covers(a, b), brute) << "a=" << a << " b=" << b;
+  }
+}
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,121 @@
+#include "align/gotoh_reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/alignment.hpp"
+#include "testing/test_sequences.hpp"
+
+namespace fastz {
+namespace {
+
+using testing::random_dna;
+using testing::related_pair;
+
+ScoreParams unit_params() { return test_params(); }
+
+TEST(GotohReference, EmptyInputsScoreZero) {
+  const auto r = reference_extend({}, {}, unit_params());
+  EXPECT_EQ(r.best.score, 0);
+  EXPECT_EQ(r.best.i, 0u);
+  EXPECT_EQ(r.best.j, 0u);
+  EXPECT_TRUE(r.ops.empty());
+}
+
+TEST(GotohReference, PerfectMatchScoresLengthTimesMatch) {
+  const Sequence a = Sequence::from_string("a", "ACGTACGTAC");
+  const auto r = reference_extend(a.codes(), a.codes(), unit_params());
+  EXPECT_EQ(r.best.score, 10);
+  EXPECT_EQ(r.best.i, 10u);
+  EXPECT_EQ(r.best.j, 10u);
+  EXPECT_EQ(r.ops.size(), 10u);
+  for (AlignOp op : r.ops) EXPECT_EQ(op, AlignOp::Match);
+}
+
+TEST(GotohReference, SingleMismatchPrefersShorterPrefixWhenBetter) {
+  // AC vs AG: best prefix alignment is just "A" (score 1); extending to the
+  // mismatch would score 1 - 1 = 0.
+  const Sequence a = Sequence::from_string("a", "AC");
+  const Sequence b = Sequence::from_string("b", "AG");
+  const auto r = reference_extend(a.codes(), b.codes(), unit_params());
+  EXPECT_EQ(r.best.score, 1);
+  EXPECT_EQ(r.best.i, 1u);
+  EXPECT_EQ(r.best.j, 1u);
+}
+
+TEST(GotohReference, GapBridgesDeletion) {
+  // A has 2 extra bases after a 4-bp head; a 10-bp tail follows. Bridging
+  // the deletion (cost 3+1+1 = 5) is worth it for the 10 extra matches.
+  const Sequence a = Sequence::from_string("a", "ACGTTTACGTACGTAC");
+  const Sequence b = Sequence::from_string("b", "ACGTACGTACGTAC");
+  ScoreParams p = unit_params();
+  const auto r = reference_extend(a.codes(), b.codes(), p);
+  // 14 matches - (3 + 1 + 1) = 9.
+  EXPECT_EQ(r.best.score, 9);
+  EXPECT_EQ(r.best.i, 16u);
+  EXPECT_EQ(r.best.j, 14u);
+  int deletes = 0;
+  for (AlignOp op : r.ops) deletes += (op == AlignOp::Delete) ? 1 : 0;
+  EXPECT_EQ(deletes, 2);
+}
+
+TEST(GotohReference, OpsRescoreToReportedScore) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto [a, b] = related_pair(60, 0.8, seed);
+    const auto r = reference_extend(a.codes(), b.codes(), unit_params());
+    Alignment aln;
+    aln.a_begin = 0;
+    aln.b_begin = 0;
+    aln.a_end = r.best.i;
+    aln.b_end = r.best.j;
+    aln.score = r.best.score;
+    aln.ops = r.ops;
+    EXPECT_EQ(rescore_alignment(aln, a, b, unit_params()), r.best.score)
+        << "seed " << seed;
+  }
+}
+
+TEST(GotohReference, BestNeverNegative) {
+  // Cell (0,0) scores 0, so the best is always >= 0 even for unrelated DNA.
+  const Sequence a = random_dna(40, 11);
+  const Sequence b = random_dna(40, 22);
+  const auto r = reference_extend(a.codes(), b.codes(), unit_params());
+  EXPECT_GE(r.best.score, 0);
+}
+
+TEST(GotohReference, TieBreakPrefersShorterAlignment) {
+  // AA vs AA then divergence: equal scores resolve to the smaller i+j.
+  const Sequence a = Sequence::from_string("a", "AACC");
+  const Sequence b = Sequence::from_string("b", "AAGG");
+  const auto r = reference_extend(a.codes(), b.codes(), unit_params());
+  EXPECT_EQ(r.best.score, 2);
+  EXPECT_EQ(r.best.i, 2u);
+  EXPECT_EQ(r.best.j, 2u);
+}
+
+TEST(BestCellTieBreak, OrdersByScoreThenDiagonalThenRow) {
+  BestCell c{10, 4, 4};
+  EXPECT_TRUE(c.improved_by(11, 9, 9));    // higher score always wins
+  EXPECT_FALSE(c.improved_by(9, 0, 0));    // lower score never wins
+  EXPECT_TRUE(c.improved_by(10, 3, 4));    // same score, smaller i+j
+  EXPECT_FALSE(c.improved_by(10, 5, 4));   // same score, larger i+j
+  EXPECT_TRUE(c.improved_by(10, 3, 5));    // same diagonal, smaller i
+  EXPECT_FALSE(c.improved_by(10, 4, 4));   // identical cell is not better
+}
+
+TEST(GotohReference, HoxdMatrixMatchesKnownValues) {
+  const ScoreParams p = lastz_default_params();
+  EXPECT_EQ(p.substitution(kBaseA, kBaseA), 91);
+  EXPECT_EQ(p.substitution(kBaseC, kBaseC), 100);
+  EXPECT_EQ(p.substitution(kBaseA, kBaseT), -123);
+  EXPECT_EQ(p.substitution(kBaseG, kBaseC), -125);
+  // HOXD70 is symmetric.
+  for (int x = 0; x < kAlphabetSize; ++x) {
+    for (int y = 0; y < kAlphabetSize; ++y) {
+      EXPECT_EQ(p.substitution(static_cast<BaseCode>(x), static_cast<BaseCode>(y)),
+                p.substitution(static_cast<BaseCode>(y), static_cast<BaseCode>(x)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastz

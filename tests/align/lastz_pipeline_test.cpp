@@ -1,0 +1,129 @@
+#include "align/lastz_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sequence/benchmark_pairs.hpp"
+#include "sequence/genome_synth.hpp"
+
+namespace fastz {
+namespace {
+
+// A small synthetic pair with a couple of strong homology segments.
+SyntheticPair small_pair(std::uint64_t seed = 420) {
+  PairModel model;
+  model.length_a = 30000;
+  model.segments = {
+      {200.0, 300, 600, 0.9},  // ~6 segments of 300-600 bp
+  };
+  return generate_pair(model, seed);
+}
+
+// A background-dominated pair: most seed hits are chance matches, which the
+// ungapped filter drops.
+SyntheticPair background_pair(std::uint64_t seed = 421) {
+  PairModel model;
+  model.length_a = 60000;
+  model.segments = {{25.0, 300, 600, 0.9}};
+  return generate_pair(model, seed);
+}
+
+TEST(LastzPipeline, FindsPlantedSegments) {
+  const SyntheticPair pair = small_pair();
+  ASSERT_FALSE(pair.segments.empty());
+  const ScoreParams p = lastz_default_params();
+  const PipelineResult r = run_lastz(pair.a, pair.b, p);
+
+  EXPECT_FALSE(r.alignments.empty());
+  // Every reported alignment clears the threshold.
+  for (const Alignment& aln : r.alignments) {
+    EXPECT_GE(aln.score, p.gapped_threshold);
+    EXPECT_EQ(rescore_alignment(aln, pair.a, pair.b, p), aln.score);
+  }
+  // At least half the planted segments are recovered (some draw too much
+  // divergence to clear the LASTZ score threshold).
+  std::size_t recovered = 0;
+  for (const SegmentRecord& seg : pair.segments) {
+    for (const Alignment& aln : r.alignments) {
+      const std::uint64_t lo = std::max<std::uint64_t>(aln.a_begin, seg.a_begin);
+      const std::uint64_t hi = std::min<std::uint64_t>(aln.a_end, seg.a_begin + seg.a_len);
+      if (hi > lo && (hi - lo) * 2 >= seg.a_len) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(recovered * 2, pair.segments.size());
+}
+
+TEST(LastzPipeline, UngappedFilterReducesExtendedSeeds) {
+  const SyntheticPair pair = background_pair();
+  const ScoreParams p = lastz_default_params();
+
+  PipelineOptions gapped;
+  PipelineOptions ungapped;
+  ungapped.use_ungapped_filter = true;
+
+  const PipelineResult g = run_lastz(pair.a, pair.b, p, gapped);
+  const PipelineResult u = run_lastz(pair.a, pair.b, p, ungapped);
+
+  // The filter drops the chance seeds before gapped extension...
+  EXPECT_LT(u.counters.seeds_extended, g.counters.seeds_extended * 3 / 4);
+  // ...and cannot find alignments the unfiltered run missed.
+  EXPECT_LE(u.alignments.size(), g.alignments.size());
+  EXPECT_LE(u.counters.dp_cells, g.counters.dp_cells);
+}
+
+TEST(LastzPipeline, DeduplicationRemovesRepeatedAlignments) {
+  std::vector<Alignment> alns(5);
+  alns[0] = {10, 20, 30, 40, 100, {}};
+  alns[1] = {10, 20, 30, 40, 100, {}};  // duplicate of [0]
+  alns[2] = {11, 20, 30, 40, 100, {}};
+  alns[3] = {10, 20, 30, 41, 100, {}};
+  alns[4] = {10, 20, 30, 40, 100, {}};  // duplicate of [0]
+  deduplicate_alignments(alns);
+  EXPECT_EQ(alns.size(), 3u);
+  EXPECT_EQ(alns[0].a_begin, 10u);
+  EXPECT_EQ(alns[1].a_begin, 11u);
+  EXPECT_EQ(alns[2].b_end, 41u);
+}
+
+TEST(LastzPipeline, MaxSeedsCapsWork) {
+  const SyntheticPair pair = small_pair(5);
+  const ScoreParams p = lastz_default_params();
+  PipelineOptions capped;
+  capped.max_seeds = 100;
+  const PipelineResult r = run_lastz(pair.a, pair.b, p, capped);
+  EXPECT_LE(r.counters.seed_hits, 100u);
+}
+
+TEST(LastzPipeline, ChainingReducesAnchorsToColinearSet) {
+  const SyntheticPair pair = small_pair(91);
+  ScoreParams p = lastz_default_params();
+  p.ydrop = 2000;  // scaled search keeps this test fast
+  PipelineOptions filtered;
+  filtered.use_ungapped_filter = true;
+  PipelineOptions chained = filtered;
+  chained.chain_hsps = true;
+
+  const PipelineResult f = run_lastz(pair.a, pair.b, p, filtered);
+  const PipelineResult c = run_lastz(pair.a, pair.b, p, chained);
+
+  EXPECT_LE(c.counters.seeds_extended, f.counters.seeds_extended);
+  EXPECT_GT(c.counters.seeds_extended, 0u);
+  // The chain keeps at most one anchor per homology segment, so the
+  // deduplicated alignment count cannot grow.
+  EXPECT_LE(c.alignments.size(), f.alignments.size());
+}
+
+TEST(LastzPipeline, DpDominatesProfile) {
+  // Section 2.1: >99% of gapped LASTZ's time is in the DP (our stage split
+  // is coarser than a function profiler, so assert a conservative 90%).
+  const SyntheticPair pair = small_pair(8);
+  const ScoreParams p = lastz_default_params();
+  const PipelineResult r = run_lastz(pair.a, pair.b, p);
+  ASSERT_GT(r.counters.total_time_s, 0.0);
+  EXPECT_GT(r.counters.extend_time_s / r.counters.total_time_s, 0.90);
+}
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,75 @@
+#include "align/output.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fastz {
+namespace {
+
+struct Fixture {
+  Sequence a = Sequence::from_string("chrA", "ACGTACGT");
+  Sequence b = Sequence::from_string("chrB", "ACGACGT");
+  Alignment aln;
+
+  Fixture() {
+    // A: ACGTACGT
+    // B: ACG-ACGT
+    aln.a_begin = 0;
+    aln.a_end = 8;
+    aln.b_begin = 0;
+    aln.b_end = 7;
+    aln.score = 500;
+    aln.ops = {AlignOp::Match, AlignOp::Match, AlignOp::Match, AlignOp::Delete,
+               AlignOp::Match, AlignOp::Match, AlignOp::Match, AlignOp::Match};
+  }
+};
+
+TEST(Output, RenderRowsPadsGaps) {
+  Fixture f;
+  const AlignedRows rows = render_rows(f.aln, f.a, f.b);
+  EXPECT_EQ(rows.a, "ACGTACGT");
+  EXPECT_EQ(rows.b, "ACG-ACGT");
+}
+
+TEST(Output, RenderRowsInsertPadsA) {
+  Fixture f;
+  // Swap roles: insert consumes B only.
+  f.aln.ops = {AlignOp::Match, AlignOp::Insert, AlignOp::Match};
+  f.aln.a_end = 2;
+  f.aln.b_end = 3;
+  const AlignedRows rows = render_rows(f.aln, f.a, f.b);
+  EXPECT_EQ(rows.a, "A-C");
+  EXPECT_EQ(rows.b.size(), 3u);
+  EXPECT_EQ(rows.b[1], 'C');  // b[1]
+}
+
+TEST(Output, MafBlockStructure) {
+  Fixture f;
+  std::ostringstream out;
+  write_maf(out, {f.aln}, f.a, f.b);
+  const std::string maf = out.str();
+  EXPECT_NE(maf.find("##maf version=1"), std::string::npos);
+  EXPECT_NE(maf.find("a score=500"), std::string::npos);
+  EXPECT_NE(maf.find("s chrA 0 8 + 8 ACGTACGT"), std::string::npos);
+  EXPECT_NE(maf.find("s chrB 0 7 + 7 ACG-ACGT"), std::string::npos);
+}
+
+TEST(Output, TabularFields) {
+  Fixture f;
+  std::ostringstream out;
+  write_tabular(out, {f.aln}, f.a, f.b);
+  EXPECT_EQ(out.str(), "chrA\tchrB\t0\t8\t0\t7\t500\t100.0\t3M1D4M\n");
+}
+
+TEST(Output, EmptyAlignmentsHeaderOnly) {
+  Fixture f;
+  std::ostringstream maf, tab;
+  write_maf(maf, {}, f.a, f.b);
+  write_tabular(tab, {}, f.a, f.b);
+  EXPECT_EQ(maf.str(), "##maf version=1 scoring=hoxd70\n");
+  EXPECT_TRUE(tab.str().empty());
+}
+
+}  // namespace
+}  // namespace fastz

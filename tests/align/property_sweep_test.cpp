@@ -1,0 +1,128 @@
+// Parameterized property sweeps: the engine equivalences must hold across
+// scoring parameterizations, identities, and pruning thresholds, not just
+// the defaults.
+#include <gtest/gtest.h>
+
+#include "align/gotoh_reference.hpp"
+#include "align/ydrop_align.hpp"
+#include "fastz/strip_kernel.hpp"
+#include "testing/test_sequences.hpp"
+
+namespace fastz {
+namespace {
+
+using testing::related_pair;
+
+struct SweepCase {
+  Score gap_open;
+  Score gap_extend;
+  double identity;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  const SweepCase& c = info.param;
+  return "open" + std::to_string(-c.gap_open) + "_ext" + std::to_string(-c.gap_extend) +
+         "_id" + std::to_string(static_cast<int>(c.identity * 100)) + "_s" +
+         std::to_string(c.seed);
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (Score open : {-400, -600, -100}) {
+    for (Score extend : {-30, -60}) {
+      for (double identity : {0.9, 0.7, 0.5}) {
+        cases.push_back({open, extend, identity, 7000 + cases.size()});
+      }
+    }
+  }
+  return cases;
+}
+
+ScoreParams make_params(const SweepCase& c, Score ydrop) {
+  ScoreParams p = lastz_default_params();
+  p.gap_open = c.gap_open;
+  p.gap_extend = c.gap_extend;
+  p.ydrop = ydrop;
+  return p;
+}
+
+class ScoreParamSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ScoreParamSweep, YdropMatchesReferenceUnbounded) {
+  const SweepCase c = GetParam();
+  auto [a, b] = related_pair(80, c.identity, c.seed);
+  const ScoreParams p = make_params(c, 1 << 28);
+  const auto ref = reference_extend(a.codes(), b.codes(), p);
+  const auto yd = ydrop_one_sided_align(a.codes(), b.codes(), p);
+  EXPECT_EQ(yd.best.score, ref.best.score);
+  EXPECT_EQ(yd.best.i, ref.best.i);
+  EXPECT_EQ(yd.best.j, ref.best.j);
+  EXPECT_EQ(yd.ops, ref.ops);
+}
+
+TEST_P(ScoreParamSweep, StripKernelMatchesReference) {
+  const SweepCase c = GetParam();
+  auto [a, b] = related_pair(75, c.identity, c.seed ^ 0x55u);
+  const ScoreParams p = make_params(c, 1 << 28);
+  const auto ref = reference_extend(a.codes(), b.codes(), p);
+  const auto strip = strip_rectangle_dp(SeqView(a.codes().data(), 1, a.size()),
+                                        SeqView(b.codes().data(), 1, b.size()), p, true);
+  EXPECT_EQ(strip.best.score, ref.best.score);
+  EXPECT_EQ(strip.ops, ref.ops);
+}
+
+TEST_P(ScoreParamSweep, ConservativeNeverBelowSequential) {
+  const SweepCase c = GetParam();
+  auto [a, b] = related_pair(300, c.identity, c.seed ^ 0xaau, 0.01);
+  const ScoreParams p = make_params(c, 1500);
+  OneSidedOptions seq_opts;
+  seq_opts.want_traceback = false;
+  OneSidedOptions cons_opts = seq_opts;
+  cons_opts.prune = PruneMode::kConservative;
+  const auto seq = ydrop_one_sided_align(a.codes(), b.codes(), p, seq_opts);
+  const auto cons = ydrop_one_sided_align(a.codes(), b.codes(), p, cons_opts);
+  EXPECT_GE(cons.best.score, seq.best.score);
+  EXPECT_GE(cons.cells, seq.cells);
+}
+
+TEST_P(ScoreParamSweep, TracebackRescoresUnderAllParams) {
+  const SweepCase c = GetParam();
+  auto [a, b] = related_pair(200, c.identity, c.seed ^ 0x77u, 0.01);
+  const ScoreParams p = make_params(c, 2000);
+  const auto yd = ydrop_one_sided_align(a.codes(), b.codes(), p);
+  Alignment aln;
+  aln.a_end = yd.best.i;
+  aln.b_end = yd.best.j;
+  aln.ops = yd.ops;
+  EXPECT_EQ(rescore_alignment(aln, a, b, p), yd.best.score);
+}
+
+INSTANTIATE_TEST_SUITE_P(GapAndIdentity, ScoreParamSweep,
+                         ::testing::ValuesIn(sweep_cases()), case_name);
+
+// Y-drop monotonicity: a larger threshold can only expand the search and
+// can only raise (or keep) the best score.
+class YdropMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(YdropMonotonicity, LargerYdropExploresMoreAndScoresNoWorse) {
+  auto [a, b] = related_pair(400, 0.75, GetParam(), 0.01);
+  OneSidedOptions opts;
+  opts.want_traceback = false;
+  std::uint64_t prev_cells = 0;
+  Score prev_score = kNegativeInfinity;
+  for (Score ydrop : {500, 1000, 2000, 4000, 9400}) {
+    ScoreParams p = lastz_default_params();
+    p.ydrop = ydrop;
+    const auto r = ydrop_one_sided_align(a.codes(), b.codes(), p, opts);
+    EXPECT_GE(r.cells, prev_cells) << "ydrop " << ydrop;
+    EXPECT_GE(r.best.score, prev_score) << "ydrop " << ydrop;
+    prev_cells = r.cells;
+    prev_score = r.best.score;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, YdropMonotonicity, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,55 @@
+#include "align/seq_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sequence/sequence.hpp"
+
+namespace fastz {
+namespace {
+
+TEST(SeqView, ForwardWindow) {
+  const Sequence s = Sequence::from_string("s", "ACGTAC");
+  const SeqView v = forward_view(s.codes(), 1, 4);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], kBaseC);
+  EXPECT_EQ(v[1], kBaseG);
+  EXPECT_EQ(v[2], kBaseT);
+}
+
+TEST(SeqView, ReverseWindow) {
+  const Sequence s = Sequence::from_string("s", "ACGT");
+  const SeqView v = reverse_view(s.codes(), 3);  // views ACG reversed: G C A
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], kBaseG);
+  EXPECT_EQ(v[1], kBaseC);
+  EXPECT_EQ(v[2], kBaseA);
+}
+
+TEST(SeqView, ReverseOfZeroIsEmpty) {
+  const Sequence s = Sequence::from_string("s", "ACGT");
+  EXPECT_TRUE(reverse_view(s.codes(), 0).empty());
+}
+
+TEST(SeqView, PrefixShortens) {
+  const Sequence s = Sequence::from_string("s", "ACGTACGT");
+  const SeqView v = forward_view(s.codes(), 0, 8).prefix(3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], kBaseG);
+}
+
+TEST(SeqView, ReversePrefixKeepsDirection) {
+  const Sequence s = Sequence::from_string("s", "ACGT");
+  const SeqView v = reverse_view(s.codes(), 4).prefix(2);  // T G
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], kBaseT);
+  EXPECT_EQ(v[1], kBaseG);
+}
+
+TEST(SeqView, DefaultIsEmpty) {
+  const SeqView v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+}  // namespace
+}  // namespace fastz

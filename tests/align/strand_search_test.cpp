@@ -1,0 +1,142 @@
+#include "align/strand_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sequence/genome_synth.hpp"
+#include "testing/test_sequences.hpp"
+
+namespace fastz {
+namespace {
+
+ScoreParams params() {
+  ScoreParams p = lastz_default_params();
+  p.ydrop = 2000;
+  return p;
+}
+
+// A and B share a forward-strand homology block; B additionally carries an
+// *inverted* copy of another block of A.
+struct StrandFixture {
+  Sequence a;
+  Sequence b;
+  std::uint64_t fwd_block_a = 2000;    // A position of the forward block
+  std::uint64_t inv_block_a = 6000;    // A position of the inverted block
+  std::uint64_t inv_block_b = 9000;    // forward-strand B position of the copy
+  std::uint64_t block_len = 500;
+
+  explicit StrandFixture(std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    Sequence bg_a = random_sequence("a", 12000, rng);
+    Sequence bg_b = random_sequence("b", 12000, rng);
+    std::vector<BaseCode> a_codes(bg_a.codes().begin(), bg_a.codes().end());
+    std::vector<BaseCode> b_codes(bg_b.codes().begin(), bg_b.codes().end());
+
+    MutationChannel channel;
+    // Forward block: copy A[2000, 2500) into B[3000, ...).
+    auto fwd = mutate_segment(bg_a.codes(fwd_block_a, block_len), 0.92, channel, rng);
+    std::copy(fwd.begin(), fwd.end(), b_codes.begin() + 3000);
+
+    // Inverted block: revcomp of A[6000, 6500) into B[9000, ...).
+    std::vector<BaseCode> inv(block_len);
+    for (std::uint64_t k = 0; k < block_len; ++k) {
+      inv[k] = complement(a_codes[inv_block_a + block_len - 1 - k]);
+    }
+    auto inv_mut = mutate_segment(inv, 0.92, channel, rng);
+    std::copy(inv_mut.begin(), inv_mut.end(), b_codes.begin() + inv_block_b);
+
+    a = Sequence("a", std::move(a_codes));
+    b = Sequence("b", std::move(b_codes));
+  }
+};
+
+TEST(StrandSearch, FindsForwardAndInvertedHomology) {
+  const StrandFixture f(11);
+  const StrandSearchResult r = run_lastz_both_strands(f.a, f.b, params());
+
+  // The forward block appears in the forward pass.
+  const bool fwd_found = std::any_of(
+      r.alignments.begin(), r.alignments.end(), [&](const StrandAlignment& s) {
+        return !s.reverse_strand && s.alignment.a_begin < f.fwd_block_a + 100 &&
+               s.alignment.a_end > f.fwd_block_a + f.block_len - 100;
+      });
+  EXPECT_TRUE(fwd_found);
+
+  // The inverted block appears only in the reverse pass, mapped back onto
+  // the forward strand of B.
+  const bool inv_found = std::any_of(
+      r.alignments.begin(), r.alignments.end(), [&](const StrandAlignment& s) {
+        return s.reverse_strand && s.alignment.a_begin < f.inv_block_a + 100 &&
+               s.alignment.a_end > f.inv_block_a + f.block_len - 100 &&
+               s.b_forward_begin < f.inv_block_b + 100 &&
+               s.b_forward_end > f.inv_block_b + f.block_len - 100;
+      });
+  EXPECT_TRUE(inv_found);
+}
+
+TEST(StrandSearch, ForwardOnlySearchMissesInversion) {
+  const StrandFixture f(13);
+  const PipelineResult fwd_only = run_lastz(f.a, f.b, params());
+  const bool inv_found = std::any_of(
+      fwd_only.alignments.begin(), fwd_only.alignments.end(), [&](const Alignment& aln) {
+        return aln.a_begin >= f.inv_block_a - 100 &&
+               aln.a_end <= f.inv_block_a + f.block_len + 100 &&
+               aln.a_end - aln.a_begin > 200;
+      });
+  EXPECT_FALSE(inv_found);
+}
+
+TEST(StrandSearch, ReverseAlignmentsRescoreInRcFrame) {
+  const StrandFixture f(17);
+  const StrandSearchResult r = run_lastz_both_strands(f.a, f.b, params());
+  for (const StrandAlignment& s : r.alignments) {
+    const Sequence& frame = s.reverse_strand ? r.rc_query : f.b;
+    EXPECT_EQ(rescore_alignment(s.alignment, f.a, frame, params()), s.alignment.score);
+  }
+}
+
+TEST(StrandSearch, MapToForwardRoundtrips) {
+  // Interval [10, 30) on a revcomp of length 100 maps to [70, 90).
+  const auto [lo, hi] = map_to_forward(10, 30, 100);
+  EXPECT_EQ(lo, 70u);
+  EXPECT_EQ(hi, 90u);
+  // Mapping twice returns the original.
+  const auto [lo2, hi2] = map_to_forward(lo, hi, 100);
+  EXPECT_EQ(lo2, 10u);
+  EXPECT_EQ(hi2, 30u);
+}
+
+TEST(StrandSearch, GeneratorInversionClassRoundTrips) {
+  // Inverted segments from the workload generator are exactly what the
+  // reverse pass must recover.
+  PairModel model;
+  model.length_a = 30000;
+  SegmentClass inv{80.0, 400, 700, 0.92, -1.0, true};
+  model.segments = {inv};
+  const SyntheticPair pair = generate_pair(model, 5);
+  ASSERT_FALSE(pair.segments.empty());
+
+  const StrandSearchResult r = run_lastz_both_strands(pair.a, pair.b, params());
+  EXPECT_EQ(r.forward_count(), 0u);
+  EXPECT_GE(r.reverse_count(), 1u);
+  // Each reverse alignment's forward-mapped B interval overlaps a planted
+  // inverted segment.
+  for (const StrandAlignment& s : r.alignments) {
+    const bool overlaps_planted = std::any_of(
+        pair.segments.begin(), pair.segments.end(), [&](const SegmentRecord& seg) {
+          return s.b_forward_begin < seg.b_begin + seg.b_len &&
+                 seg.b_begin < s.b_forward_end;
+        });
+    EXPECT_TRUE(overlaps_planted);
+  }
+}
+
+TEST(StrandSearch, CountsSplitByStrand) {
+  const StrandFixture f(19);
+  const StrandSearchResult r = run_lastz_both_strands(f.a, f.b, params());
+  EXPECT_EQ(r.forward_count() + r.reverse_count(), r.alignments.size());
+  EXPECT_GE(r.forward_count(), 1u);
+  EXPECT_GE(r.reverse_count(), 1u);
+}
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,87 @@
+#include "align/traceback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace fastz {
+namespace {
+
+TEST(TraceCode, PackUnpackRoundtrip) {
+  for (TraceCode src : {kTraceSrcDiag, kTraceSrcI, kTraceSrcD, kTraceSrcOrigin}) {
+    for (bool i_open : {false, true}) {
+      for (bool d_open : {false, true}) {
+        const TraceCode code = make_trace(src, i_open, d_open);
+        EXPECT_EQ(trace_s_src(code), src);
+        EXPECT_EQ(trace_i_open(code), i_open);
+        EXPECT_EQ(trace_d_open(code), d_open);
+      }
+    }
+  }
+}
+
+TEST(TraceCode, FitsInOneByte) {
+  // Section 3.1.3: 2 + 1 + 1 bits packed into a single byte.
+  const TraceCode all = make_trace(kTraceSrcOrigin, true, true);
+  EXPECT_LE(all, 0x0Fu);
+}
+
+// Helper building a code map for hand-written walks.
+class WalkFixture : public ::testing::Test {
+ protected:
+  void set(std::uint32_t i, std::uint32_t j, TraceCode code) { codes_[{i, j}] = code; }
+  std::vector<AlignOp> walk(std::uint32_t i, std::uint32_t j) {
+    return walk_traceback(i, j, [&](std::uint32_t wi, std::uint32_t wj) {
+      auto it = codes_.find({wi, wj});
+      if (it == codes_.end()) throw std::runtime_error("missing code");
+      return it->second;
+    });
+  }
+  std::map<std::pair<std::uint32_t, std::uint32_t>, TraceCode> codes_;
+};
+
+TEST_F(WalkFixture, PureDiagonalWalk) {
+  set(1, 1, make_trace(kTraceSrcDiag, false, false));
+  set(2, 2, make_trace(kTraceSrcDiag, false, false));
+  const auto ops = walk(2, 2);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0], AlignOp::Match);
+  EXPECT_EQ(ops[1], AlignOp::Match);
+}
+
+TEST_F(WalkFixture, GapOpenAndExtend) {
+  // Path: M at (1,1), then I I to (1,3): S(1,3) from I; I(1,3) extends
+  // I(1,2); I(1,2) opened from S(1,1).
+  set(1, 1, make_trace(kTraceSrcDiag, false, false));
+  set(1, 2, make_trace(kTraceSrcI, true, false));
+  set(1, 3, make_trace(kTraceSrcI, false, false));
+  const auto ops = walk(1, 3);
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0], AlignOp::Match);
+  EXPECT_EQ(ops[1], AlignOp::Insert);
+  EXPECT_EQ(ops[2], AlignOp::Insert);
+}
+
+TEST_F(WalkFixture, EmptyWalkAtOrigin) {
+  EXPECT_TRUE(walk(0, 0).empty());
+}
+
+TEST_F(WalkFixture, CycleIsDetected) {
+  // An I chain that never opens would walk past column 0.
+  set(0, 1, make_trace(kTraceSrcI, false, false));
+  set(0, 2, make_trace(kTraceSrcI, false, false));
+  EXPECT_THROW(walk(0, 2), std::runtime_error);
+}
+
+TEST_F(WalkFixture, DiagAtBorderThrows) {
+  set(0, 1, make_trace(kTraceSrcDiag, false, false));
+  EXPECT_THROW(walk(0, 1), std::runtime_error);
+}
+
+TEST_F(WalkFixture, OriginCodeBeforeOriginThrows) {
+  set(2, 2, make_trace(kTraceSrcOrigin, false, false));
+  EXPECT_THROW(walk(2, 2), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,184 @@
+#include "align/ydrop_align.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/gotoh_reference.hpp"
+#include "testing/test_sequences.hpp"
+
+namespace fastz {
+namespace {
+
+using testing::random_dna;
+using testing::related_pair;
+
+// With an effectively unbounded y-drop, the pruned engine must agree with
+// the full-matrix reference exactly: score, optimal cell, and path.
+class YdropVsReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(YdropVsReference, MatchesReferenceWithUnboundedYdrop) {
+  const std::uint64_t seed = GetParam();
+  auto [a, b] = related_pair(70, 0.75, seed);
+  const ScoreParams p = test_params();
+
+  const auto ref = reference_extend(a.codes(), b.codes(), p);
+  const auto yd = ydrop_one_sided_align(a.codes(), b.codes(), p);
+
+  EXPECT_EQ(yd.best.score, ref.best.score);
+  EXPECT_EQ(yd.best.i, ref.best.i);
+  EXPECT_EQ(yd.best.j, ref.best.j);
+  EXPECT_EQ(yd.ops, ref.ops);
+}
+
+TEST_P(YdropVsReference, ConservativeModeMatchesReferenceWithUnboundedYdrop) {
+  const std::uint64_t seed = GetParam();
+  auto [a, b] = related_pair(70, 0.75, seed ^ 0xabcdu);
+  const ScoreParams p = test_params();
+  OneSidedOptions opts;
+  opts.prune = PruneMode::kConservative;
+
+  const auto ref = reference_extend(a.codes(), b.codes(), p);
+  const auto yd = ydrop_one_sided_align(a.codes(), b.codes(), p, opts);
+
+  EXPECT_EQ(yd.best.score, ref.best.score);
+  EXPECT_EQ(yd.best.i, ref.best.i);
+  EXPECT_EQ(yd.best.j, ref.best.j);
+  EXPECT_EQ(yd.ops, ref.ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, YdropVsReference,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(YdropAlign, EmptyInputs) {
+  const ScoreParams p = test_params();
+  const auto r = ydrop_one_sided_align(SeqView(), SeqView(), p);
+  EXPECT_EQ(r.best.score, 0);
+  EXPECT_TRUE(r.ops.empty());
+}
+
+TEST(YdropAlign, PruningTerminatesUnrelatedSearch) {
+  // Unrelated random sequences: with LASTZ parameters the search must die
+  // long before exploring the full matrix.
+  const Sequence a = random_dna(4000, 7);
+  const Sequence b = random_dna(4000, 13);
+  const ScoreParams p = lastz_default_params();
+  const auto r = ydrop_one_sided_align(a.codes(), b.codes(), p);
+  EXPECT_LT(r.rows_explored, 2000u);
+  EXPECT_LT(r.cells, std::uint64_t{4000} * 4000 / 4);
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(YdropAlign, SearchSpaceFarExceedsOptimalAlignment) {
+  // The paper's Section 1 observation: the algorithm explores a much larger
+  // space than the optimal alignment it finds.
+  const Sequence a = random_dna(4000, 7);
+  const Sequence b = random_dna(4000, 13);
+  const ScoreParams p = lastz_default_params();
+  const auto r = ydrop_one_sided_align(a.codes(), b.codes(), p);
+  const std::uint64_t alignment_area =
+      (std::uint64_t{r.best.i} + 1) * (std::uint64_t{r.best.j} + 1);
+  EXPECT_GT(r.cells, 20 * alignment_area);
+}
+
+TEST(YdropAlign, ConservativeExploresSupersetOfSequential) {
+  // Section 3.4: FastZ's completed-rows-only pruning explores the same or a
+  // strict superset of sequential LASTZ's space, never less, and its best
+  // score is never lower.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto [a, b] = related_pair(600, 0.7, seed, 0.004);
+    const ScoreParams p = lastz_default_params();
+
+    OneSidedOptions seq_opts;
+    seq_opts.want_traceback = false;
+    OneSidedOptions cons_opts = seq_opts;
+    cons_opts.prune = PruneMode::kConservative;
+
+    const auto seq = ydrop_one_sided_align(a.codes(), b.codes(), p, seq_opts);
+    const auto cons = ydrop_one_sided_align(a.codes(), b.codes(), p, cons_opts);
+
+    EXPECT_GE(cons.cells, seq.cells) << "seed " << seed;
+    EXPECT_GE(cons.best.score, seq.best.score) << "seed " << seed;
+    EXPECT_GE(cons.rows_explored, seq.rows_explored) << "seed " << seed;
+  }
+}
+
+TEST(YdropAlign, HomologousPairAlignsEndToEnd) {
+  auto [a, b] = related_pair(500, 0.9, 42);
+  const ScoreParams p = lastz_default_params();
+  const auto r = ydrop_one_sided_align(a.codes(), b.codes(), p);
+  // A 90%-identity 500 bp pair must extend essentially to the ends.
+  EXPECT_GT(r.best.i, 450u);
+  EXPECT_GT(r.best.score, 25000);
+}
+
+TEST(YdropAlign, OpsRescoreToBestScore) {
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    auto [a, b] = related_pair(300, 0.85, seed);
+    const ScoreParams p = lastz_default_params();
+    const auto r = ydrop_one_sided_align(a.codes(), b.codes(), p);
+    Alignment aln;
+    aln.a_end = r.best.i;
+    aln.b_end = r.best.j;
+    aln.score = r.best.score;
+    aln.ops = r.ops;
+    EXPECT_EQ(rescore_alignment(aln, a, b, p), r.best.score) << "seed " << seed;
+  }
+}
+
+TEST(YdropAlign, MaxRowsCapTruncates) {
+  auto [a, b] = related_pair(400, 0.95, 5);
+  const ScoreParams p = lastz_default_params();
+  OneSidedOptions opts;
+  opts.max_rows = 50;
+  const auto r = ydrop_one_sided_align(a.codes(), b.codes(), p, opts);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_LE(r.best.i, 50u);
+}
+
+TEST(YdropAlign, TraceFromFixedCellReturnsPathToThatCell) {
+  auto [a, b] = related_pair(200, 0.9, 77);
+  const ScoreParams p = lastz_default_params();
+  const auto full = ydrop_one_sided_align(a.codes(), b.codes(), p);
+  ASSERT_GT(full.best.i, 10u);
+
+  OneSidedOptions opts;
+  opts.trace_from_fixed = true;
+  opts.trace_i = full.best.i;
+  opts.trace_j = full.best.j;
+  const auto traced = ydrop_one_sided_align(a.codes(), b.codes(), p, opts);
+  EXPECT_EQ(traced.ops, full.ops);
+}
+
+TEST(YdropAlign, RowBoundsCoverBestCell) {
+  auto [a, b] = related_pair(300, 0.85, 3);
+  const ScoreParams p = lastz_default_params();
+  OneSidedOptions opts;
+  opts.want_traceback = false;
+  opts.record_row_bounds = true;
+  const auto r = ydrop_one_sided_align(a.codes(), b.codes(), p, opts);
+  ASSERT_GT(r.row_bounds.size(), r.best.i);
+  const RowBounds rb = r.row_bounds[r.best.i];
+  EXPECT_GE(r.best.j, rb.lo);
+  EXPECT_LT(r.best.j, rb.hi);
+  // Bounds must be sane intervals.
+  for (const RowBounds& bounds : r.row_bounds) EXPECT_LT(bounds.lo, bounds.hi);
+}
+
+TEST(YdropAlign, CellCountMatchesBoundsArea) {
+  // The cells counter is the engine's work metric for the whole cost model;
+  // it must be consistent with the recorded bounds (bounds cover viable
+  // cells; computed cells additionally include pruned probes, so cells >=
+  // covered area).
+  auto [a, b] = related_pair(300, 0.8, 9);
+  const ScoreParams p = lastz_default_params();
+  OneSidedOptions opts;
+  opts.want_traceback = false;
+  opts.record_row_bounds = true;
+  const auto r = ydrop_one_sided_align(a.codes(), b.codes(), p, opts);
+  std::uint64_t covered = 0;
+  for (const RowBounds& bounds : r.row_bounds) covered += bounds.hi - bounds.lo;
+  EXPECT_GE(r.cells, covered);
+  EXPECT_LT(r.cells, covered * 3);  // probes beyond bounds stay bounded
+}
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,109 @@
+#include "fastz/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "align/extension.hpp"
+#include "testing/test_sequences.hpp"
+
+namespace fastz {
+namespace {
+
+using testing::related_pair;
+
+struct Fixture {
+  Sequence a;
+  Sequence b;
+  SeedHit hit;
+};
+
+Fixture homologous_fixture(std::uint64_t seed, std::size_t len = 700,
+                           double identity = 0.9) {
+  auto [a, b] = related_pair(len, identity, seed);
+  const auto mid = static_cast<std::uint32_t>(std::min(a.size(), b.size()) / 2);
+  return {std::move(a), std::move(b), SeedHit{mid, mid}};
+}
+
+TEST(Executor, TrimmedAlignmentMatchesOracle) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Fixture f = homologous_fixture(seed);
+    const ScoreParams p = lastz_default_params();
+    const FastzConfig config = FastzConfig::full();
+
+    const SeedInspection ins = inspect_seed(f.a, f.b, f.hit, 19, p, config);
+    if (ins.eager) continue;
+    const ExecutorOutcome exec = execute_seed(f.a, f.b, ins, p, config);
+
+    OneSidedOptions opts;
+    opts.prune = PruneMode::kConservative;
+    const GappedExtension oracle = extend_seed(f.a, f.b, f.hit, 19, p, opts);
+
+    EXPECT_EQ(exec.alignment.score, oracle.alignment.score) << "seed " << seed;
+    EXPECT_EQ(exec.alignment.a_begin, oracle.alignment.a_begin) << "seed " << seed;
+    EXPECT_EQ(exec.alignment.a_end, oracle.alignment.a_end) << "seed " << seed;
+    EXPECT_EQ(exec.alignment.b_begin, oracle.alignment.b_begin) << "seed " << seed;
+    EXPECT_EQ(exec.alignment.b_end, oracle.alignment.b_end) << "seed " << seed;
+    EXPECT_EQ(exec.alignment.ops, oracle.alignment.ops) << "seed " << seed;
+  }
+}
+
+TEST(Executor, TrimmingShrinksRecomputedCells) {
+  const Fixture f = homologous_fixture(11, 1200, 0.88);
+  const ScoreParams p = lastz_default_params();
+  FastzConfig trimmed = FastzConfig::full();
+  FastzConfig untrimmed = FastzConfig::full();
+  untrimmed.executor_trimming = false;
+
+  const SeedInspection ins = inspect_seed(f.a, f.b, f.hit, 19, p, trimmed);
+  ASSERT_FALSE(ins.eager);
+
+  const ExecutorOutcome t = execute_seed(f.a, f.b, ins, p, trimmed);
+  const ExecutorOutcome u = execute_seed(f.a, f.b, ins, p, untrimmed);
+
+  // Same alignment either way...
+  EXPECT_EQ(t.alignment.score, u.alignment.score);
+  EXPECT_EQ(t.alignment.ops, u.alignment.ops);
+  // ...but the trimmed run computes no more cells than the full re-run.
+  EXPECT_LE(t.cells, u.cells);
+}
+
+TEST(Executor, TrimmedRescoreValidates) {
+  const Fixture f = homologous_fixture(21);
+  const ScoreParams p = lastz_default_params();
+  const FastzConfig config = FastzConfig::full();
+  const SeedInspection ins = inspect_seed(f.a, f.b, f.hit, 19, p, config);
+  ASSERT_FALSE(ins.eager);
+  const ExecutorOutcome exec = execute_seed(f.a, f.b, ins, p, config);
+  EXPECT_EQ(rescore_alignment(exec.alignment, f.a, f.b, p), exec.alignment.score);
+}
+
+TEST(Executor, TracebackBytesEqualCells) {
+  const Fixture f = homologous_fixture(31);
+  const ScoreParams p = lastz_default_params();
+  const FastzConfig config = FastzConfig::full();
+  const SeedInspection ins = inspect_seed(f.a, f.b, f.hit, 19, p, config);
+  ASSERT_FALSE(ins.eager);
+  const ExecutorOutcome exec = execute_seed(f.a, f.b, ins, p, config);
+  EXPECT_EQ(exec.traceback_bytes, exec.cells);
+  EXPECT_GT(exec.geom.warp_steps, 0u);
+}
+
+TEST(Executor, EagerSizedSeedProducesEmptyishWork) {
+  // A seed whose optimum is at the anchor (score 0 both sides) produces an
+  // empty alignment without crashing.
+  Fixture f = homologous_fixture(41, 200, 0.9);
+  // Point the seed at unrelated coordinates: anchor in A's start vs B's end.
+  f.hit = SeedHit{10, static_cast<std::uint32_t>(f.b.size() - 30)};
+  const ScoreParams p = lastz_default_params();
+  const FastzConfig config = FastzConfig::full();
+  SeedInspection ins = inspect_seed(f.a, f.b, f.hit, 19, p, config);
+  // Force-execute regardless of eager status.
+  FastzConfig no_eager = config;
+  no_eager.eager_traceback = false;
+  ins.eager = false;
+  const ExecutorOutcome exec = execute_seed(f.a, f.b, ins, p, no_eager);
+  EXPECT_EQ(exec.alignment.score, ins.score);
+  EXPECT_EQ(rescore_alignment(exec.alignment, f.a, f.b, p), exec.alignment.score);
+}
+
+}  // namespace
+}  // namespace fastz

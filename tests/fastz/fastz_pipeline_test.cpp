@@ -1,0 +1,208 @@
+#include "fastz/fastz_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sequence/genome_synth.hpp"
+
+namespace fastz {
+namespace {
+
+SyntheticPair test_pair(std::uint64_t seed = 7) {
+  // Background-dominated census, like the paper's workloads: chance seed
+  // hits scale with length^2 (~600 here), homology-island hits with length
+  // (~100 here), so eager-tile seeds form the majority.
+  PairModel model;
+  model.length_a = 100000;
+  model.segments = {
+      {10.0, 200, 500, 0.9},  // bin-1-ish homology islands
+      {3.0, 600, 1200, 0.8},  // occasional bin-2 segment
+  };
+  return generate_pair(model, seed);
+}
+
+const gpusim::DeviceSpec kAmpere = gpusim::rtx3080_ampere();
+
+// Scaled-down y-drop matching the synthetic chromosome scale (the bench
+// harness default; LASTZ's 9400 explores ~1M cells per seed).
+ScoreParams test_ydrop_params() {
+  ScoreParams p = lastz_default_params();
+  p.ydrop = 2000;
+  return p;
+}
+
+// The functional pass is the expensive part; share one per workload across
+// the whole file.
+struct SharedWorkload {
+  SyntheticPair pair = test_pair();
+  FastzStudy study{pair.a, pair.b, test_ydrop_params()};
+};
+
+const SharedWorkload& shared() {
+  static const SharedWorkload w;
+  return w;
+}
+
+TEST(FastzPipeline, AlignmentsMatchDerivedRunsRegardlessOfConfig) {
+  const FastzStudy& study = shared().study;
+  // Functional alignments are config-independent; derive() only models cost.
+  const FastzRun full = study.derive(FastzConfig::full(), kAmpere);
+  const FastzRun base = study.derive(FastzConfig::load_balance_only(), kAmpere);
+  EXPECT_EQ(full.seeds, base.seeds);
+  EXPECT_EQ(full.census.total, base.census.total);
+}
+
+TEST(FastzPipeline, CensusHasEagerMajority) {
+  const BinCensus census = shared().study.census();
+  EXPECT_GT(census.total, 500u);
+  // Most seed hits are chance matches in unrelated background.
+  EXPECT_GT(census.eager_fraction(), 0.5);
+  // Census accounting is exact.
+  std::uint64_t sum = census.eager + census.overflow;
+  for (auto b : census.bins) sum += b;
+  EXPECT_EQ(sum, census.total);
+}
+
+TEST(FastzPipeline, EagerEliminatesExecutorTasks) {
+  const FastzStudy& study = shared().study;
+
+  FastzConfig with_eager = FastzConfig::full();
+  FastzConfig no_eager = FastzConfig::full();
+  no_eager.eager_traceback = false;
+
+  const FastzRun e = study.derive(with_eager, kAmpere);
+  const FastzRun n = study.derive(no_eager, kAmpere);
+
+  EXPECT_EQ(e.eager_handled + e.executor_tasks, e.seeds);
+  EXPECT_EQ(n.eager_handled, 0u);
+  EXPECT_EQ(n.executor_tasks, n.seeds);
+  EXPECT_LT(e.executor_tasks, n.executor_tasks);
+}
+
+TEST(FastzPipeline, CyclicBuffersEliminateScoreTraffic) {
+  const FastzStudy& study = shared().study;
+
+  FastzConfig cyclic = FastzConfig::full();
+  FastzConfig spilled = FastzConfig::full();
+  spilled.cyclic_buffers = false;
+
+  const FastzRun c = study.derive(cyclic, kAmpere);
+  const FastzRun s = study.derive(spilled, kAmpere);
+
+  EXPECT_EQ(c.ledger.score_read_bytes, 0u);
+  EXPECT_EQ(c.ledger.score_write_bytes, 0u);
+  EXPECT_GT(s.ledger.score_read_bytes, 0u);
+  // Section 3.2: cyclic buffering eliminates >90% of the score traffic.
+  const double c_score_bytes = static_cast<double>(c.ledger.boundary_spill_bytes);
+  const double s_score_bytes =
+      static_cast<double>(s.ledger.score_read_bytes + s.ledger.score_write_bytes);
+  EXPECT_LT(c_score_bytes, 0.1 * s_score_bytes);
+}
+
+TEST(FastzPipeline, TrimmingReducesExecutorCells) {
+  const FastzStudy& study = shared().study;
+
+  FastzConfig trimmed = FastzConfig::full();
+  FastzConfig untrimmed = FastzConfig::full();
+  untrimmed.executor_trimming = false;
+
+  const FastzRun t = study.derive(trimmed, kAmpere);
+  const FastzRun u = study.derive(untrimmed, kAmpere);
+  EXPECT_LT(t.executor_cells, u.executor_cells);
+}
+
+TEST(FastzPipeline, ProgressiveOptimizationsImproveModeledTime) {
+  // The Figure 9 ladder must be monotone: each added optimization reduces
+  // the modeled time.
+  const FastzStudy& study = shared().study;
+
+  FastzConfig base = FastzConfig::load_balance_only();
+  FastzConfig cyc = base;
+  cyc.with_cyclic_buffers();
+  FastzConfig eag = cyc;
+  eag.with_eager_traceback();
+  FastzConfig trim = eag;
+  trim.with_executor_trimming();  // == full FastZ
+
+  const double t_base = study.derive(base, kAmpere).modeled.total_s();
+  const double t_cyc = study.derive(cyc, kAmpere).modeled.total_s();
+  const double t_eag = study.derive(eag, kAmpere).modeled.total_s();
+  const double t_trim = study.derive(trim, kAmpere).modeled.total_s();
+
+  EXPECT_LT(t_cyc, t_base);
+  EXPECT_LT(t_eag, t_cyc);
+  EXPECT_LT(t_trim, t_eag);
+
+  // Single stream is never faster than 32 streams (the penalty itself needs
+  // long-alignment tails in multiple chunks — exercised by the kernel-sim
+  // stream test and the Figure 9 bench; this workload is too small/uniform
+  // to produce one).
+  FastzConfig single = trim;
+  single.streams = 1;
+  const double t_single = study.derive(single, kAmpere).modeled.total_s();
+  EXPECT_GE(t_single, t_trim);
+}
+
+TEST(FastzPipeline, ReportedAlignmentsClearThresholdAndValidate) {
+  const SharedWorkload& w = shared();
+  const ScoreParams p = test_ydrop_params();
+  EXPECT_FALSE(w.study.alignments().empty());
+  for (const Alignment& aln : w.study.alignments()) {
+    EXPECT_GE(aln.score, p.gapped_threshold);
+    EXPECT_EQ(rescore_alignment(aln, w.pair.a, w.pair.b, p), aln.score);
+  }
+}
+
+TEST(FastzPipeline, InspectorDominatesModeledBreakdown) {
+  // Figure 8: the inspector is the largest component of the full config.
+  const FastzRun run = shared().study.derive(FastzConfig::full(), kAmpere);
+  EXPECT_GT(run.modeled.inspector_s, run.modeled.executor_s);
+}
+
+TEST(FastzPipeline, MemoryBudgetSplitsExecutorKernels) {
+  // A device with tiny memory cannot hold a bin's traceback allocations at
+  // once: the executor splits into more kernels and, since the batches
+  // contend for the allocation, runs no faster than the roomy device.
+  const FastzStudy& study = shared().study;
+  const FastzConfig config = FastzConfig::full();
+
+  const FastzRun roomy = study.derive(config, kAmpere);
+
+  gpusim::DeviceSpec tiny = kAmpere;
+  tiny.memory_bytes = 64 * 1024;  // 64 KB: a few small problems at a time
+  const FastzRun cramped = study.derive(config, tiny);
+
+  EXPECT_GT(cramped.executor_kernels, roomy.executor_kernels);
+  EXPECT_GE(cramped.modeled.executor_s, roomy.modeled.executor_s);
+}
+
+TEST(FastzPipeline, TrimmingShrinksAllocationsAndKernelCount) {
+  // Untrimmed executors allocate the whole search space, so under a
+  // bounded memory budget they need at least as many kernel batches as the
+  // exact-size trimmed allocation (Section 3.1.3's packing argument).
+  const FastzStudy& study = shared().study;
+  gpusim::DeviceSpec small = kAmpere;
+  small.memory_bytes = 4 * 1024 * 1024;  // 4 MB budget
+
+  FastzConfig trimmed = FastzConfig::full();
+  FastzConfig untrimmed = FastzConfig::full();
+  untrimmed.executor_trimming = false;
+
+  const FastzRun t = study.derive(trimmed, small);
+  const FastzRun u = study.derive(untrimmed, small);
+  EXPECT_GE(u.executor_kernels, t.executor_kernels);
+}
+
+TEST(FastzPipeline, RunFastzWrapperReturnsAlignments) {
+  PairModel model;
+  model.length_a = 25000;
+  model.segments = {{100.0, 250, 500, 0.9}};
+  const SyntheticPair pair = generate_pair(model, 9);
+  std::vector<Alignment> alignments;
+  const FastzRun run = run_fastz(pair.a, pair.b, test_ydrop_params(), {},
+                                 FastzConfig::full(), kAmpere, &alignments);
+  EXPECT_GT(run.seeds, 0u);
+  EXPECT_FALSE(alignments.empty());
+}
+
+}  // namespace
+}  // namespace fastz

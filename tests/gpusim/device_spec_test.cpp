@@ -1,0 +1,83 @@
+#include "gpusim/device_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastz::gpusim {
+namespace {
+
+TEST(DeviceSpec, PaperParametersArePinned) {
+  const DeviceSpec pascal = titan_x_pascal();
+  EXPECT_EQ(pascal.sm_count, 28u);   // Section 4
+  EXPECT_EQ(pascal.lanes, 3584u);    // Section 5.1
+  EXPECT_DOUBLE_EQ(pascal.clock_ghz, 1.0);
+
+  const DeviceSpec volta = v100_volta();
+  EXPECT_EQ(volta.sm_count, 80u);
+  EXPECT_EQ(volta.memory_bytes, 32ull << 30);
+
+  const DeviceSpec ampere = rtx3080_ampere();
+  EXPECT_EQ(ampere.sm_count, 68u);
+  EXPECT_DOUBLE_EQ(ampere.mem_bandwidth_gbps, 760.0);  // Section 6
+  EXPECT_EQ(ampere.memory_bytes, 10ull << 30);
+}
+
+TEST(DeviceSpec, DivergenceDerateMatchesSection6) {
+  // 9 ops expand to 23 under SIMD divergence: derate 23/9 ~= 2.56.
+  const DeviceSpec d = rtx3080_ampere();
+  EXPECT_NEAR(d.divergence_derate, 2.556, 0.01);
+}
+
+TEST(DeviceSpec, ThroughputOrdering) {
+  // Sustained issue throughput must increase across GPU generations, which
+  // is what drives Figure 7's Pascal < Volta < Ampere speedup ordering.
+  const double pascal = titan_x_pascal().sustained_warp_issue_per_s();
+  const double volta = v100_volta().sustained_warp_issue_per_s();
+  const double ampere = rtx3080_ampere().sustained_warp_issue_per_s();
+  EXPECT_LT(pascal, volta);
+  EXPECT_LT(volta, ampere);
+}
+
+TEST(CpuModel, SequentialTimeScalesLinearly) {
+  const CpuSpec cpu = ryzen_3950x();
+  const double t1 = sequential_lastz_time_s(1'000'000, cpu);
+  const double t2 = sequential_lastz_time_s(2'000'000, cpu);
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(CpuModel, MulticoreSpeedupNearPaperTwentyX) {
+  // The paper: 32 processes on the 16-core 3950x achieve ~20x over
+  // sequential LASTZ, capped by memory bandwidth.
+  const CpuSpec cpu = ryzen_3950x();
+  const std::uint64_t cells = 10'000'000'000ull;
+  const double seq = sequential_lastz_time_s(cells, cpu);
+  const double mc = multicore_lastz_time_s(cells, cpu, 32);
+  const double speedup = seq / mc;
+  EXPECT_GT(speedup, 17.0);
+  EXPECT_LT(speedup, 23.0);
+}
+
+TEST(CpuModel, MulticoreMonotoneInProcesses) {
+  const CpuSpec cpu = ryzen_3950x();
+  const std::uint64_t cells = 1'000'000'000ull;
+  double prev = multicore_lastz_time_s(cells, cpu, 1);
+  for (std::uint32_t p : {2u, 4u, 8u, 16u, 32u}) {
+    const double t = multicore_lastz_time_s(cells, cpu, p);
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+  // One process equals sequential.
+  EXPECT_NEAR(multicore_lastz_time_s(cells, cpu, 1),
+              sequential_lastz_time_s(cells, cpu), 1e-9);
+}
+
+TEST(CpuModel, BandwidthCapBinds) {
+  // Beyond the core count, more processes must not help: the bandwidth
+  // roofline binds.
+  const CpuSpec cpu = ryzen_3950x();
+  const std::uint64_t cells = 1'000'000'000ull;
+  EXPECT_DOUBLE_EQ(multicore_lastz_time_s(cells, cpu, 32),
+                   multicore_lastz_time_s(cells, cpu, 64));
+}
+
+}  // namespace
+}  // namespace fastz::gpusim

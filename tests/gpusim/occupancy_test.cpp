@@ -1,0 +1,68 @@
+#include "gpusim/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastz::gpusim {
+namespace {
+
+TEST(Occupancy, WarpSlotLimitWhenResourcesAreLight) {
+  const DeviceSpec d = rtx3080_ampere();
+  KernelResources light;
+  light.registers_per_thread = 16;
+  light.shared_bytes_per_warp = 64;
+  const Occupancy occ = compute_occupancy(d, light);
+  EXPECT_EQ(occ.resident_warps_per_sm, d.max_resident_warps_per_sm);
+  EXPECT_EQ(occ.limiter, "warp slots");
+  EXPECT_DOUBLE_EQ(occ.fraction(d), 1.0);
+}
+
+TEST(Occupancy, RegisterLimitBinds) {
+  const DeviceSpec d = rtx3080_ampere();
+  KernelResources heavy;
+  heavy.registers_per_thread = 128;  // 128 x 32 x 4 B = 16 KB per warp
+  const Occupancy occ = compute_occupancy(d, heavy);
+  EXPECT_EQ(occ.limiter, "registers");
+  EXPECT_EQ(occ.resident_warps_per_sm, d.register_file_per_sm_bytes / (128 * 32 * 4));
+}
+
+TEST(Occupancy, SharedMemoryLimitBinds) {
+  const DeviceSpec d = rtx3080_ampere();
+  KernelResources smem_heavy;
+  smem_heavy.registers_per_thread = 16;
+  smem_heavy.shared_bytes_per_warp = 16 * 1024;
+  const Occupancy occ = compute_occupancy(d, smem_heavy);
+  EXPECT_EQ(occ.limiter, "shared memory");
+  EXPECT_EQ(occ.resident_warps_per_sm, d.shared_mem_per_sm_bytes / (16 * 1024));
+}
+
+TEST(BufferPlacement, PaperExampleExceedsSharedMemory) {
+  // Section 3.2: 2 blocks x 64 warps x 32 threads x 36 B = 144 KB — more
+  // shared memory than any of the three devices has.
+  for (const DeviceSpec& d :
+       {titan_x_pascal(), v100_volta(), rtx3080_ampere()}) {
+    const BufferPlacementAnalysis a = analyze_buffer_placement(d);
+    EXPECT_EQ(a.smem_bytes_for_full_occupancy, 128u * 32u * 36u);
+    EXPECT_GT(a.smem_bytes_for_full_occupancy, d.shared_mem_per_sm_bytes) << d.name;
+  }
+}
+
+TEST(BufferPlacement, RegistersSustainAtLeastSharedMemoryOccupancy) {
+  // The register placement never does worse, and the 36 B/thread fit the
+  // per-thread register budget comfortably (9 extra registers).
+  for (const DeviceSpec& d :
+       {titan_x_pascal(), v100_volta(), rtx3080_ampere()}) {
+    const BufferPlacementAnalysis a = analyze_buffer_placement(d);
+    EXPECT_GE(a.with_register_buffers.resident_warps_per_sm,
+              a.with_shared_memory_buffers.resident_warps_per_sm)
+        << d.name;
+    EXPECT_GT(a.with_register_buffers.resident_warps_per_sm, 0u);
+  }
+}
+
+TEST(BufferPlacement, CyclicBufferConstantsMatchPaper) {
+  // 3 diagonals x 3 matrices (S, I, D) x 4 bytes.
+  EXPECT_EQ(kCyclicBufferBytesPerThread, 36u);
+}
+
+}  // namespace
+}  // namespace fastz::gpusim

@@ -1,0 +1,68 @@
+#include "baseline/feng_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "report/experiment.hpp"
+#include "sequence/genome_synth.hpp"
+
+namespace fastz {
+namespace {
+
+SyntheticPair make_pair(std::uint64_t seed = 41) {
+  // Background-dominated, like the paper's seed census.
+  PairModel model;
+  model.length_a = 60000;
+  model.segments = {{20.0, 200, 600, 0.9}};
+  return generate_pair(model, seed);
+}
+
+// The baseline model's sync constant is calibrated against the harness's
+// scaled y-drop (see feng_baseline.hpp); use the same parameterization.
+ScoreParams scaled_params() {
+  ScoreParams p = lastz_default_params();
+  p.ydrop = 2000;
+  return p;
+}
+
+TEST(FengBaseline, SlowerThanSequentialLastz) {
+  // Figure 7: the single-problem GPU baseline achieves *slowdowns* relative
+  // to sequential LASTZ on every benchmark and GPU (the paper measures
+  // 18-43% slower; our synthetic search spaces are narrower than real
+  // homologous chromatin, so the modeled slowdown is deeper — see
+  // EXPERIMENTS.md).
+  const SyntheticPair pair = make_pair();
+  const ScoreParams p = scaled_params();
+  const FastzStudy study(pair.a, pair.b, p);
+  const double t_seq = modeled_sequential_s(study);
+
+  for (const auto& device : {gpusim::titan_x_pascal(), gpusim::v100_volta(),
+                             gpusim::rtx3080_ampere()}) {
+    const FengBaselineResult r = model_feng_baseline(study, device);
+    const double speedup = t_seq / r.modeled_time_s;
+    EXPECT_LT(speedup, 1.0) << device.name;
+    EXPECT_GT(speedup, 0.01) << device.name;
+  }
+}
+
+TEST(FengBaseline, MuchSlowerThanFastz) {
+  const SyntheticPair pair = make_pair(43);
+  const FastzStudy study(pair.a, pair.b, scaled_params());
+  const auto ampere = gpusim::rtx3080_ampere();
+  const double t_baseline = model_feng_baseline(study, ampere).modeled_time_s;
+  const double t_fastz = study.derive(FastzConfig::full(), ampere).modeled.total_s();
+  EXPECT_GT(t_baseline / t_fastz, 20.0);
+}
+
+TEST(FengBaseline, CostsScaleWithDiagonals) {
+  const SyntheticPair pair = make_pair(45);
+  const FastzStudy study(pair.a, pair.b, scaled_params());
+  const FengBaselineResult r = model_feng_baseline(study, gpusim::rtx3080_ampere());
+  EXPECT_GT(r.diagonals, 0u);
+  EXPECT_EQ(r.kernel_launches % 2, 0u);  // two per seed (left + right)
+  EXPECT_NEAR(r.sync_time_s, static_cast<double>(r.diagonals) * kDiagonalSyncSeconds,
+              1e-12);
+  EXPECT_DOUBLE_EQ(r.modeled_time_s, r.sync_time_s + r.compute_time_s + r.launch_time_s);
+}
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,73 @@
+// Determinism: every pipeline is a pure function of its inputs and seeds.
+// Reproducibility is a workflow requirement for alignment tooling (and for
+// this repository's benchmarks, whose numbers must be re-derivable).
+#include <gtest/gtest.h>
+
+#include "fastz/fastz.hpp"
+
+namespace fastz {
+namespace {
+
+SyntheticPair make_pair() {
+  PairModel model;
+  model.length_a = 50000;
+  model.segments = {{25.0, 200, 600, 0.9}};
+  return generate_pair(model, 123);
+}
+
+ScoreParams params() {
+  ScoreParams p = lastz_default_params();
+  p.ydrop = 2000;
+  return p;
+}
+
+TEST(Determinism, SequentialPipelineIsReproducible) {
+  const SyntheticPair pair = make_pair();
+  const PipelineResult r1 = run_lastz(pair.a, pair.b, params());
+  const PipelineResult r2 = run_lastz(pair.a, pair.b, params());
+  ASSERT_EQ(r1.alignments.size(), r2.alignments.size());
+  for (std::size_t k = 0; k < r1.alignments.size(); ++k) {
+    EXPECT_EQ(r1.alignments[k].score, r2.alignments[k].score);
+    EXPECT_EQ(r1.alignments[k].ops, r2.alignments[k].ops);
+    EXPECT_EQ(r1.alignments[k].a_begin, r2.alignments[k].a_begin);
+  }
+  EXPECT_EQ(r1.counters.dp_cells, r2.counters.dp_cells);
+}
+
+TEST(Determinism, FastzStudyIsReproducible) {
+  const SyntheticPair pair = make_pair();
+  const FastzStudy s1(pair.a, pair.b, params());
+  const FastzStudy s2(pair.a, pair.b, params());
+  EXPECT_EQ(s1.seeds(), s2.seeds());
+  EXPECT_EQ(s1.inspector_cells(), s2.inspector_cells());
+  ASSERT_EQ(s1.alignments().size(), s2.alignments().size());
+  for (std::size_t k = 0; k < s1.alignments().size(); ++k) {
+    EXPECT_EQ(s1.alignments()[k].score, s2.alignments()[k].score);
+    EXPECT_EQ(s1.alignments()[k].ops, s2.alignments()[k].ops);
+  }
+}
+
+TEST(Determinism, DerivedCostsAreReproducible) {
+  const SyntheticPair pair = make_pair();
+  const FastzStudy study(pair.a, pair.b, params());
+  const auto device = gpusim::rtx3080_ampere();
+  const FastzRun r1 = study.derive(FastzConfig::full(), device);
+  const FastzRun r2 = study.derive(FastzConfig::full(), device);
+  EXPECT_DOUBLE_EQ(r1.modeled.total_s(), r2.modeled.total_s());
+  EXPECT_EQ(r1.ledger.device_bytes(), r2.ledger.device_bytes());
+  EXPECT_EQ(r1.census.eager, r2.census.eager);
+}
+
+TEST(Determinism, GeneratorSeedControlsEverything) {
+  PairModel model;
+  model.length_a = 20000;
+  model.segments = {{40.0, 100, 400, 0.9}};
+  const SyntheticPair p1 = generate_pair(model, 9);
+  const SyntheticPair p2 = generate_pair(model, 9);
+  const SyntheticPair p3 = generate_pair(model, 10);
+  EXPECT_EQ(p1.b.to_string(), p2.b.to_string());
+  EXPECT_NE(p1.b.to_string(), p3.b.to_string());
+}
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,92 @@
+// End-to-end correctness: FastZ versus sequential LASTZ.
+//
+// The paper's correctness criterion (Sections 3.4 and 5): FastZ "explores
+// the same or a strict superset of basepairs as LASTZ, resulting in the
+// same or occasionally longer alignments". These tests run both pipelines
+// on synthetic chromosome pairs and check that every LASTZ alignment is
+// matched by a FastZ alignment with at least its score and covering
+// coordinates.
+#include <gtest/gtest.h>
+
+#include "align/lastz_pipeline.hpp"
+#include "fastz/fastz_pipeline.hpp"
+#include "sequence/genome_synth.hpp"
+
+namespace fastz {
+namespace {
+
+SyntheticPair make_pair(std::uint64_t seed) {
+  PairModel model;
+  model.length_a = 30000;
+  model.segments = {
+      {100.0, 200, 500, 0.9},
+      {25.0, 600, 1200, 0.87},
+  };
+  return generate_pair(model, seed);
+}
+
+// True if `f` covers `l`: same or larger extent with at least its score.
+bool covers(const Alignment& f, const Alignment& l) {
+  return f.a_begin <= l.a_begin && f.a_end >= l.a_end && f.b_begin <= l.b_begin &&
+         f.b_end >= l.b_end && f.score >= l.score;
+}
+
+class EndToEnd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EndToEnd, FastzCoversEveryLastzAlignment) {
+  const SyntheticPair pair = make_pair(GetParam());
+  const ScoreParams p = lastz_default_params();
+
+  const PipelineResult lastz = run_lastz(pair.a, pair.b, p);
+  const FastzStudy fastz(pair.a, pair.b, p);
+
+  ASSERT_FALSE(lastz.alignments.empty());
+  for (const Alignment& l : lastz.alignments) {
+    const bool matched = std::any_of(fastz.alignments().begin(), fastz.alignments().end(),
+                                     [&](const Alignment& f) { return covers(f, l); });
+    EXPECT_TRUE(matched) << "LASTZ alignment [" << l.a_begin << "," << l.a_end
+                         << ") x [" << l.b_begin << "," << l.b_end
+                         << ") score " << l.score << " not covered by FastZ";
+  }
+}
+
+TEST_P(EndToEnd, AlignmentCountsAreClose) {
+  // FastZ may report *occasionally longer* alignments but should find
+  // essentially the same set (at most tiny differences from the
+  // conservative pruning).
+  const SyntheticPair pair = make_pair(GetParam() ^ 0x9999u);
+  const ScoreParams p = lastz_default_params();
+  const PipelineResult lastz = run_lastz(pair.a, pair.b, p);
+  const FastzStudy fastz(pair.a, pair.b, p);
+  EXPECT_GE(fastz.alignments().size() + 1, lastz.alignments.size());
+  EXPECT_LE(fastz.alignments().size(),
+            lastz.alignments.size() + 2 + lastz.alignments.size() / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, EndToEnd, ::testing::Values(101, 202, 303));
+
+TEST(EndToEndScores, FastzAlignmentsValidateAgainstSequences) {
+  const SyntheticPair pair = make_pair(7);
+  const ScoreParams p = lastz_default_params();
+  const FastzStudy fastz(pair.a, pair.b, p);
+  for (const Alignment& aln : fastz.alignments()) {
+    EXPECT_EQ(rescore_alignment(aln, pair.a, pair.b, p), aln.score);
+    EXPECT_GT(aln.identity(pair.a, pair.b), 0.5);
+  }
+}
+
+TEST(EndToEndScores, ConservativeSearchIsModeratelyLargerThanSequential) {
+  // The speedup model uses the inspector's conservative cell count as the
+  // sequential-LASTZ proxy; verify the two are within a reasonable factor.
+  const SyntheticPair pair = make_pair(11);
+  const ScoreParams p = lastz_default_params();
+  const PipelineResult lastz = run_lastz(pair.a, pair.b, p);
+  const FastzStudy fastz(pair.a, pair.b, p);
+  const double ratio = static_cast<double>(fastz.inspector_cells()) /
+                       static_cast<double>(lastz.counters.dp_cells);
+  EXPECT_GE(ratio, 1.0);
+  EXPECT_LE(ratio, 1.6);
+}
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,93 @@
+#include "report/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastz {
+namespace {
+
+// One shared tiny harness run (sequence generation + functional pass) for
+// all tests in this file.
+class ExperimentHarness : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    HarnessOptions options;
+    // ~190-250 kb chromosomes: background chance hits (which scale with
+    // length^2) dominate the census, as in the paper's workloads.
+    options.scale = 0.012;
+    options.max_seeds = 4000;
+    options.verbose = false;
+    auto pairs = same_genus_pairs(options.scale);
+    pairs.resize(2);  // C1_5,5 and C1_2,2
+    prepared_ = new std::vector<PreparedPair>(
+        prepare_pairs(pairs, harness_score_params(options), options));
+  }
+  static void TearDownTestSuite() {
+    delete prepared_;
+    prepared_ = nullptr;
+  }
+
+  static std::vector<PreparedPair>* prepared_;
+};
+
+std::vector<PreparedPair>* ExperimentHarness::prepared_ = nullptr;
+
+TEST_F(ExperimentHarness, PreparesRequestedPairs) {
+  ASSERT_EQ(prepared_->size(), 2u);
+  EXPECT_EQ((*prepared_)[0].spec.label, "C1_5,5");
+  EXPECT_GT((*prepared_)[0].study->seeds(), 100u);
+}
+
+TEST_F(ExperimentHarness, SpeedupRowHasPaperShape) {
+  const SpeedupRow row = compute_speedups((*prepared_)[0]);
+  // GPU baseline: slowdowns on all three GPUs.
+  EXPECT_LT(row.gpu_baseline_pascal, 1.0);
+  EXPECT_LT(row.gpu_baseline_volta, 1.0);
+  EXPECT_LT(row.gpu_baseline_ampere, 1.0);
+  // Multicore ~20x.
+  EXPECT_GT(row.multicore, 15.0);
+  EXPECT_LT(row.multicore, 25.0);
+  // FastZ beats multicore everywhere and orders Pascal < Volta < Ampere.
+  EXPECT_GT(row.fastz_pascal, row.multicore);
+  EXPECT_LT(row.fastz_pascal, row.fastz_volta);
+  EXPECT_LT(row.fastz_volta, row.fastz_ampere);
+}
+
+TEST_F(ExperimentHarness, MeanRowIsGeometricMean) {
+  std::vector<SpeedupRow> rows(2);
+  rows[0] = {"x", 0.5, 0.5, 0.5, 10.0, 40.0, 90.0, 100.0};
+  rows[1] = {"y", 0.5, 0.5, 0.5, 40.0, 40.0, 90.0, 121.0};
+  const SpeedupRow mean = mean_row(rows);
+  EXPECT_NEAR(mean.multicore, 20.0, 1e-9);
+  EXPECT_NEAR(mean.fastz_ampere, 110.0, 1e-9);
+  EXPECT_EQ(mean.label, "mean");
+}
+
+TEST_F(ExperimentHarness, CensusShapeMatchesTable2) {
+  const BinCensus census = (*prepared_)[0].study->census();
+  // Eager dominates; bins decay monotonically (allowing small-sample noise
+  // in the tail bins).
+  EXPECT_GT(census.eager_fraction(), 0.5);
+  EXPECT_GT(census.bins[0], census.bins[1]);
+  EXPECT_GE(census.bins[1] + 2, census.bins[2]);
+}
+
+TEST_F(ExperimentHarness, DefaultDevicesMatchPaper) {
+  const DeviceSet d = default_devices();
+  EXPECT_EQ(d.pascal.sm_count, 28u);
+  EXPECT_EQ(d.volta.sm_count, 80u);
+  EXPECT_EQ(d.ampere.sm_count, 68u);
+}
+
+TEST(ExperimentFlags, CliRoundtrip) {
+  CliParser cli("bench");
+  add_harness_flags(cli);
+  const char* argv[] = {"bench", "--scale", "0.5", "--max-seeds", "123", "--quiet", "1"};
+  ASSERT_TRUE(cli.parse(7, argv));
+  const HarnessOptions options = harness_options_from(cli);
+  EXPECT_DOUBLE_EQ(options.scale, 0.5);
+  EXPECT_EQ(options.max_seeds, 123u);
+  EXPECT_FALSE(options.verbose);
+}
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,93 @@
+// Section 6 reproduction: operational intensities from counted work.
+//
+// These ratios are pure functions of the kernels' real work and traffic —
+// no time-model calibration involved — so they are the strongest
+// quantitative check against the paper:
+//   * inspector: 32 cells x 9 ops per warp step vs 12 B spilled by the
+//     boundary lane => ~24 ops/byte;
+//   * executor: adds one packed traceback byte per cell => ~6.5 ops/byte;
+//   * unoptimized: ~32 B of score traffic per cell => ~0.7 ops/byte.
+#include <gtest/gtest.h>
+
+#include "fastz/fastz_pipeline.hpp"
+#include "sequence/genome_synth.hpp"
+
+namespace fastz {
+namespace {
+
+const FastzStudy& study() {
+  static const SyntheticPair pair = [] {
+    PairModel model;
+    model.length_a = 120000;
+    model.segments = {
+        {12.0, 200, 500, 0.9},
+        {6.0, 600, 1900, 0.7},
+    };
+    return generate_pair(model, 99);
+  }();
+  static const FastzStudy s(pair.a, pair.b, [] {
+    ScoreParams p = lastz_default_params();
+    p.ydrop = 2000;
+    return p;
+  }());
+  return s;
+}
+
+double intensity(std::uint64_t warp_instructions, std::uint64_t bytes) {
+  // warp_instructions are per-warp (9 ops per 32-cell step).
+  return static_cast<double>(warp_instructions) * 32.0 / static_cast<double>(bytes);
+}
+
+TEST(Roofline, InspectorNearPaperTwentyFourOpsPerByte) {
+  const FastzRun run = study().derive(FastzConfig::full(), gpusim::rtx3080_ampere());
+  const double oi = intensity(run.inspector_cost.warp_instructions,
+                              run.inspector_cost.mem_bytes);
+  // Paper Section 6: 24 ops/byte. Sequence fetch traffic and narrow strips
+  // pull it down slightly; accept 12-30.
+  EXPECT_GT(oi, 12.0);
+  EXPECT_LT(oi, 30.0);
+}
+
+TEST(Roofline, ExecutorNearPaperSixPointFiveOpsPerByte) {
+  const FastzRun run = study().derive(FastzConfig::full(), gpusim::rtx3080_ampere());
+  const double oi = intensity(run.executor_cost.warp_instructions,
+                              run.executor_cost.mem_bytes);
+  // Paper Section 6: 6.5 ops/byte. Our trimmed regions are narrow diagonal
+  // bands, so pipeline-fill ops raise the ratio somewhat; it must stay
+  // below the ridge (memory-side), which is the paper's actual claim.
+  EXPECT_GT(oi, 3.5);
+  EXPECT_LT(oi, 13.0);
+}
+
+TEST(Roofline, UnoptimizedIsDeeplyMemoryBound) {
+  FastzConfig base = FastzConfig::load_balance_only();
+  const FastzRun run = study().derive(base, gpusim::rtx3080_ampere());
+  const double oi = intensity(run.inspector_cost.warp_instructions,
+                              run.inspector_cost.mem_bytes);
+  // Paper Section 6: ~0.75 ops/byte without the optimizations.
+  EXPECT_LT(oi, 1.5);
+}
+
+TEST(Roofline, ExecutorIsBelowInspectorIntensity) {
+  const FastzRun run = study().derive(FastzConfig::full(), gpusim::rtx3080_ampere());
+  const double insp = intensity(run.inspector_cost.warp_instructions,
+                                run.inspector_cost.mem_bytes);
+  const double exec = intensity(run.executor_cost.warp_instructions,
+                                run.executor_cost.mem_bytes);
+  EXPECT_GT(insp, exec);
+}
+
+TEST(Roofline, EffectiveRidgeMatchesPaperDeratedValue) {
+  // The device model's sustained-ops / sustained-bandwidth ratio is pinned
+  // to the paper's derated ridge (15.2 ops/byte on the RTX 3080) so that
+  // memory- vs compute-boundedness flips where Section 6 says it should.
+  const gpusim::DeviceSpec d = gpusim::rtx3080_ampere();
+  const double sustained_ops =
+      d.sustained_warp_issue_per_s() / d.divergence_derate * 32.0;
+  const double ridge = sustained_ops / d.sustained_bandwidth_bytes_per_s();
+  EXPECT_GT(ridge, 10.0);
+  EXPECT_LT(ridge, 22.0);
+}
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,74 @@
+#include "report/alignment_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastz {
+namespace {
+
+Alignment make_aln(std::uint64_t a0, std::uint64_t a1, Score score = 100) {
+  Alignment aln;
+  aln.a_begin = a0;
+  aln.a_end = a1;
+  aln.b_begin = a0;
+  aln.b_end = a1;
+  aln.score = score;
+  return aln;
+}
+
+TEST(N50, KnownValues) {
+  // Lengths 8, 4, 4, 2: total 18, half 9; 8 alone < 9, 8+4 = 12 >= 9 -> 4.
+  EXPECT_EQ(n50({8, 4, 4, 2}), 4u);
+  EXPECT_EQ(n50({10}), 10u);
+  EXPECT_EQ(n50({}), 0u);
+  EXPECT_EQ(n50({5, 5}), 5u);
+}
+
+TEST(Summarize, EmptySet) {
+  const Sequence a = Sequence::from_string("a", "ACGT");
+  const AlignmentSetStats s = summarize_alignments({}, a, a);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.aligned_bp, 0u);
+  EXPECT_EQ(s.n50, 0u);
+}
+
+TEST(Summarize, AggregatesSpansAndScores) {
+  const Sequence a = Sequence::from_string("a", "ACGTACGTACGTACGTACGT");
+  std::vector<Alignment> alns = {make_aln(0, 8, 500), make_aln(10, 14, 900)};
+  const AlignmentSetStats s = summarize_alignments(alns, a, a);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.aligned_bp, 12u);
+  EXPECT_EQ(s.max_length, 8u);
+  EXPECT_EQ(s.max_score, 900);
+  EXPECT_EQ(s.n50, 8u);
+}
+
+TEST(SegmentRecall, FullAndPartialCoverage) {
+  std::vector<SegmentRecord> segs;
+  segs.push_back({100, 100, 100, 100, 0.9});  // [100, 200)
+  segs.push_back({300, 100, 300, 100, 0.9});  // [300, 400)
+
+  // One alignment covering segment 1 entirely, one covering half of seg 2.
+  std::vector<Alignment> alns = {make_aln(90, 210), make_aln(300, 350)};
+  EXPECT_NEAR(segment_recall(alns, segs), (100.0 + 50.0) / 200.0, 1e-12);
+}
+
+TEST(SegmentRecall, OverlappingAlignmentsCountOnce) {
+  std::vector<SegmentRecord> segs;
+  segs.push_back({0, 100, 0, 100, 0.9});
+  std::vector<Alignment> alns = {make_aln(0, 60), make_aln(40, 100), make_aln(10, 50)};
+  EXPECT_NEAR(segment_recall(alns, segs), 1.0, 1e-12);
+}
+
+TEST(SegmentRecall, NoSegmentsIsZero) {
+  std::vector<Alignment> alns = {make_aln(0, 10)};
+  EXPECT_EQ(segment_recall(alns, {}), 0.0);
+}
+
+TEST(SegmentRecall, NoAlignmentsIsZero) {
+  std::vector<SegmentRecord> segs;
+  segs.push_back({0, 100, 0, 100, 0.9});
+  EXPECT_EQ(segment_recall({}, segs), 0.0);
+}
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,101 @@
+#include "seed/chaining.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastz {
+namespace {
+
+UngappedHsp hsp(std::uint32_t a0, std::uint32_t b0, std::uint32_t len, Score score) {
+  UngappedHsp h;
+  h.a_begin = a0;
+  h.a_end = a0 + len;
+  h.b_begin = b0;
+  h.b_end = b0 + len;
+  h.score = score;
+  h.seed = {a0, b0};
+  return h;
+}
+
+TEST(Chaining, EmptyInput) { EXPECT_TRUE(best_chain({}).empty()); }
+
+TEST(Chaining, SingleAnchor) {
+  const auto chain = best_chain({hsp(10, 10, 5, 100)});
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0].a_begin, 10u);
+}
+
+TEST(Chaining, SelectsColinearSubsequence) {
+  // Three colinear anchors plus one crossing anchor that would break
+  // colinearity; the chain takes the three.
+  std::vector<UngappedHsp> hsps = {
+      hsp(0, 0, 10, 100),
+      hsp(20, 20, 10, 100),
+      hsp(40, 40, 10, 100),
+      hsp(25, 5, 10, 150),  // high score but b goes backwards vs anchor 2
+  };
+  const auto chain = best_chain(hsps);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0].a_begin, 0u);
+  EXPECT_EQ(chain[1].a_begin, 20u);
+  EXPECT_EQ(chain[2].a_begin, 40u);
+}
+
+TEST(Chaining, PrefersHigherTotalScore) {
+  // Two disjoint colinear chains; the lower-count higher-score one wins.
+  std::vector<UngappedHsp> hsps = {
+      hsp(0, 0, 10, 100), hsp(20, 20, 10, 100),          // total 200
+      hsp(5, 500, 10, 350),                               // single anchor, 350
+  };
+  const auto chain = best_chain(hsps);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain[0].score, 350);
+}
+
+TEST(Chaining, ChainIsStrictlyIncreasingInBothCoordinates) {
+  std::vector<UngappedHsp> hsps;
+  // A noisy set of anchors around a main diagonal.
+  for (std::uint32_t k = 0; k < 30; ++k) {
+    hsps.push_back(hsp(k * 37 % 900, k * 53 % 900, 8, 50 + (k * 13) % 60));
+  }
+  const auto chain = best_chain(hsps);
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_GE(chain[i].a_begin, chain[i - 1].a_end);
+    EXPECT_GE(chain[i].b_begin, chain[i - 1].b_end);
+  }
+}
+
+TEST(Chaining, DiagonalPenaltyDiscouragesOffsetAnchors) {
+  // Middle anchor sits 100 off the diagonal; with a harsh diagonal penalty
+  // the chain drops it.
+  std::vector<UngappedHsp> hsps = {
+      hsp(0, 0, 10, 100),
+      hsp(30, 130, 10, 90),  // diagonal offset -100
+      hsp(200, 200, 10, 100),
+  };
+  ChainOptions lenient;
+  EXPECT_EQ(best_chain(hsps, lenient).size(), 3u);
+
+  ChainOptions harsh;
+  harsh.diag_penalty = 2.0;  // 100 offset costs 200 each way > its 90 score
+  const auto chain = best_chain(hsps, harsh);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].a_begin, 0u);
+  EXPECT_EQ(chain[1].a_begin, 200u);
+}
+
+TEST(Chaining, ChainScoreMatchesModel) {
+  std::vector<UngappedHsp> chain = {hsp(0, 0, 10, 100), hsp(20, 30, 10, 80)};
+  ChainOptions options;
+  options.diag_penalty = 0.5;   // diagonal difference: |(20-30) - 0| = 10 -> 5
+  options.anti_penalty = 0.25;  // anti distance: (20+30) - (10+10) = 30 -> 7.5
+  EXPECT_NEAR(chain_score(chain, options), 100 + 80 - 5 - 7.5, 1e-12);
+}
+
+TEST(Chaining, TouchingAnchorsAreAllowed) {
+  // y.a_begin == x.a_end is valid (no overlap).
+  std::vector<UngappedHsp> hsps = {hsp(0, 0, 10, 50), hsp(10, 10, 10, 50)};
+  EXPECT_EQ(best_chain(hsps).size(), 2u);
+}
+
+}  // namespace
+}  // namespace fastz

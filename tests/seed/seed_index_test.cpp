@@ -1,0 +1,115 @@
+#include "seed/seed_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_sequences.hpp"
+
+namespace fastz {
+namespace {
+
+using testing::random_dna;
+
+TEST(SeedIndex, FindsExactCopies) {
+  // B contains an exact 40-bp copy of A[100..140); every seed window inside
+  // the copy must produce a hit at the right diagonal.
+  Sequence a = random_dna(400, 1);
+  const Sequence b_background = random_dna(400, 2);
+  std::vector<BaseCode> b_codes(b_background.codes().begin(),
+                                b_background.codes().end());
+  std::copy(a.codes().begin() + 100, a.codes().begin() + 140, b_codes.begin() + 200);
+  const Sequence b("b", std::move(b_codes));
+
+  const SpacedSeed seed = SpacedSeed::lastz_default();
+  const SeedIndex index(a, seed);
+  const auto hits = index.find_hits(b);
+
+  int on_diagonal = 0;
+  for (const SeedHit& h : hits) {
+    if (h.a_pos >= 100 && h.a_pos + seed.span() <= 140 && h.b_pos == h.a_pos + 100) {
+      ++on_diagonal;
+    }
+  }
+  // 40 - 19 + 1 = 22 windows inside the copy.
+  EXPECT_EQ(on_diagonal, 22);
+}
+
+TEST(SeedIndex, LookupReturnsSortedPositions) {
+  const Sequence a = Sequence::from_string("a", "ACGTACGTACGTACGTACGTACGTACGT");
+  const SpacedSeed seed("1111");
+  const SeedIndex index(a, seed);
+  const auto positions = index.lookup(seed.word_at(a.codes(), 0));
+  ASSERT_GE(positions.size(), 2u);  // the 4-periodic repeat recurs
+  EXPECT_TRUE(std::is_sorted(positions.begin(), positions.end()));
+  for (auto p : positions) {
+    EXPECT_EQ(seed.word_at(a.codes(), p), seed.word_at(a.codes(), 0));
+  }
+}
+
+TEST(SeedIndex, MissingWordYieldsEmpty) {
+  const Sequence a = Sequence::from_string("a", "AAAAAAAAAA");
+  const SpacedSeed seed("1111");
+  const SeedIndex index(a, seed);
+  const Sequence probe = Sequence::from_string("p", "TTTT");
+  EXPECT_TRUE(index.lookup(seed.word_at(probe.codes(), 0)).empty());
+}
+
+TEST(SeedIndex, StepSkipsPositions) {
+  const Sequence a = random_dna(1000, 3);
+  const SpacedSeed seed = SpacedSeed::lastz_default();
+  const SeedIndex full(a, seed, 1);
+  const SeedIndex halved(a, seed, 2);
+  EXPECT_NEAR(static_cast<double>(halved.indexed_positions()),
+              full.indexed_positions() / 2.0, 1.0);
+}
+
+TEST(SeedIndex, ShortSequencesYieldNothing) {
+  const Sequence a = Sequence::from_string("a", "ACGT");
+  const SpacedSeed seed = SpacedSeed::lastz_default();  // span 19 > 4
+  const SeedIndex index(a, seed);
+  EXPECT_EQ(index.indexed_positions(), 0u);
+  EXPECT_TRUE(index.find_hits(a).empty());
+}
+
+TEST(SeedIndex, MaxHitsCapsAndSamplesUniformly) {
+  const Sequence a = random_dna(5000, 4);
+  const SpacedSeed seed("111111");  // weight 6: plenty of chance hits
+  const SeedIndex index(a, seed);
+  const Sequence b = random_dna(5000, 5);
+
+  const auto all = index.find_hits(b);
+  ASSERT_GT(all.size(), 1000u);
+  const auto capped = index.find_hits(b, 500);
+  EXPECT_EQ(capped.size(), 500u);
+
+  // Sampled hits preserve input order and spread across the full range.
+  EXPECT_LE(capped.front().b_pos, all[all.size() / 10].b_pos + 5000 / 10);
+}
+
+TEST(DownsampleHits, ExactCountAndOrderPreserved) {
+  std::vector<SeedHit> hits;
+  for (std::uint32_t i = 0; i < 1000; ++i) hits.push_back({i, i});
+  const auto sampled = downsample_hits(hits, 100, 7);
+  EXPECT_EQ(sampled.size(), 100u);
+  for (std::size_t k = 1; k < sampled.size(); ++k) {
+    EXPECT_LT(sampled[k - 1].a_pos, sampled[k].a_pos);
+  }
+}
+
+TEST(DownsampleHits, NoopWhenUnderTarget) {
+  std::vector<SeedHit> hits = {{1, 2}, {3, 4}};
+  const auto sampled = downsample_hits(hits, 10, 7);
+  EXPECT_EQ(sampled.size(), 2u);
+}
+
+TEST(SeedIndex, HitsAreGenuineWordMatches) {
+  const Sequence a = random_dna(2000, 8);
+  const Sequence b = random_dna(2000, 9);
+  const SpacedSeed seed("11111111");  // weight 8
+  const SeedIndex index(a, seed);
+  for (const SeedHit& h : index.find_hits(b, 200)) {
+    EXPECT_EQ(seed.word_at(a.codes(), h.a_pos), seed.word_at(b.codes(), h.b_pos));
+  }
+}
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,58 @@
+#include "seed/spaced_seed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sequence/sequence.hpp"
+
+namespace fastz {
+namespace {
+
+TEST(SpacedSeed, LastzDefaultShape) {
+  const SpacedSeed seed = SpacedSeed::lastz_default();
+  EXPECT_EQ(seed.span(), 19u);
+  EXPECT_EQ(seed.weight(), 12u);
+  EXPECT_EQ(seed.pattern(), "1110100110010101111");
+  EXPECT_EQ(seed.word_space(), 1ull << 24);
+}
+
+TEST(SpacedSeed, WordIgnoresWildcardPositions) {
+  const SpacedSeed seed("101");
+  const Sequence s1 = Sequence::from_string("a", "ACA");
+  const Sequence s2 = Sequence::from_string("b", "AGA");  // differs at wildcard
+  const Sequence s3 = Sequence::from_string("c", "ACT");  // differs at care
+  EXPECT_EQ(seed.word_at(s1.codes(), 0), seed.word_at(s2.codes(), 0));
+  EXPECT_NE(seed.word_at(s1.codes(), 0), seed.word_at(s3.codes(), 0));
+}
+
+TEST(SpacedSeed, WordPacksTwoBitsPerCarePosition) {
+  const SpacedSeed seed("11");
+  const Sequence s = Sequence::from_string("a", "GT");
+  // G=2, T=3 -> word = (2 << 2) | 3 = 11.
+  EXPECT_EQ(seed.word_at(s.codes(), 0), 11u);
+}
+
+TEST(SpacedSeed, OffsetWindows) {
+  const SpacedSeed seed("11");
+  const Sequence s = Sequence::from_string("a", "ACGT");
+  EXPECT_NE(seed.word_at(s.codes(), 0), seed.word_at(s.codes(), 1));
+  EXPECT_NE(seed.word_at(s.codes(), 1), seed.word_at(s.codes(), 2));
+}
+
+TEST(SpacedSeed, RejectsBadPatterns) {
+  EXPECT_THROW(SpacedSeed(""), std::invalid_argument);
+  EXPECT_THROW(SpacedSeed("1012"), std::invalid_argument);
+  EXPECT_THROW(SpacedSeed("000"), std::invalid_argument);
+  EXPECT_THROW(SpacedSeed("11111111111111111"), std::invalid_argument);  // weight 17
+}
+
+TEST(SpacedSeed, CarePositionsMatchPattern) {
+  const SpacedSeed seed("1101");
+  const auto care = seed.care_positions();
+  ASSERT_EQ(care.size(), 3u);
+  EXPECT_EQ(care[0], 0u);
+  EXPECT_EQ(care[1], 1u);
+  EXPECT_EQ(care[2], 3u);
+}
+
+}  // namespace
+}  // namespace fastz

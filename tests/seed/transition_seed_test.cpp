@@ -1,0 +1,123 @@
+// LASTZ's one-transition seed tolerance (SeedIndex::find_hits option).
+#include <gtest/gtest.h>
+
+#include "seed/seed_index.hpp"
+#include "testing/test_sequences.hpp"
+
+namespace fastz {
+namespace {
+
+using testing::random_dna;
+
+TEST(TransitionSeeds, HitsAreSupersetOfExactHits) {
+  const Sequence a = random_dna(20000, 1);
+  const Sequence b = random_dna(20000, 2);
+  const SeedIndex index(a, SpacedSeed::lastz_default());
+
+  const auto exact = index.find_hits(b);
+  const auto tolerant = index.find_hits(b, 0, 0x5eed, /*allow_one_transition=*/true);
+  EXPECT_GE(tolerant.size(), exact.size());
+
+  // Every exact hit appears among the tolerant hits.
+  auto key = [](const SeedHit& h) {
+    return (std::uint64_t{h.a_pos} << 32) | h.b_pos;
+  };
+  std::set<std::uint64_t> tolerant_keys;
+  for (const SeedHit& h : tolerant) tolerant_keys.insert(key(h));
+  for (const SeedHit& h : exact) {
+    EXPECT_TRUE(tolerant_keys.contains(key(h)));
+  }
+}
+
+TEST(TransitionSeeds, FindsSeedWithOneTransition) {
+  // Copy a 19-bp window of A into B, then flip one care-position base by a
+  // transition: the exact search misses it, the tolerant search finds it.
+  const Sequence a = random_dna(2000, 3);
+  const SpacedSeed seed = SpacedSeed::lastz_default();
+  const Sequence b_background = random_dna(2000, 4);
+  std::vector<BaseCode> b_codes(b_background.codes().begin(),
+                                b_background.codes().end());
+  const std::uint32_t a_pos = 700;
+  const std::uint32_t b_pos = 1200;
+  for (std::size_t k = 0; k < seed.span(); ++k) {
+    b_codes[b_pos + k] = a[a_pos + k];
+  }
+  const std::uint32_t care = seed.care_positions()[5];
+  b_codes[b_pos + care] = transition_of(b_codes[b_pos + care]);
+  const Sequence b("b", std::move(b_codes));
+
+  const SeedIndex index(a, seed);
+  auto contains = [&](const std::vector<SeedHit>& hits) {
+    return std::any_of(hits.begin(), hits.end(), [&](const SeedHit& h) {
+      return h.a_pos == a_pos && h.b_pos == b_pos;
+    });
+  };
+  EXPECT_FALSE(contains(index.find_hits(b)));
+  EXPECT_TRUE(contains(index.find_hits(b, 0, 0x5eed, true)));
+}
+
+TEST(TransitionSeeds, TransversionIsNotTolerated) {
+  const Sequence a = random_dna(2000, 5);
+  const SpacedSeed seed = SpacedSeed::lastz_default();
+  const Sequence b_background = random_dna(2000, 6);
+  std::vector<BaseCode> b_codes(b_background.codes().begin(),
+                                b_background.codes().end());
+  const std::uint32_t a_pos = 500;
+  const std::uint32_t b_pos = 900;
+  for (std::size_t k = 0; k < seed.span(); ++k) {
+    b_codes[b_pos + k] = a[a_pos + k];
+  }
+  const std::uint32_t care = seed.care_positions()[3];
+  b_codes[b_pos + care] = complement(b_codes[b_pos + care]);  // transversion
+  const Sequence b("b", std::move(b_codes));
+
+  const SeedIndex index(a, seed);
+  const auto hits = index.find_hits(b, 0, 0x5eed, true);
+  const bool found = std::any_of(hits.begin(), hits.end(), [&](const SeedHit& h) {
+    return h.a_pos == a_pos && h.b_pos == b_pos;
+  });
+  EXPECT_FALSE(found);
+}
+
+TEST(TransitionSeeds, WildcardPositionsStayFree) {
+  // Mutating a wildcard position (any substitution) never breaks the hit.
+  const Sequence a = random_dna(2000, 7);
+  const SpacedSeed seed = SpacedSeed::lastz_default();
+  ASSERT_LT(seed.weight(), seed.span());
+  // Find a wildcard offset.
+  std::uint32_t wildcard = 0;
+  for (std::uint32_t k = 0; k < seed.span(); ++k) {
+    if (std::none_of(seed.care_positions().begin(), seed.care_positions().end(),
+                     [&](std::uint32_t c) { return c == k; })) {
+      wildcard = k;
+      break;
+    }
+  }
+  const Sequence b_background = random_dna(2000, 8);
+  std::vector<BaseCode> b_codes(b_background.codes().begin(),
+                                b_background.codes().end());
+  const std::uint32_t a_pos = 600;
+  const std::uint32_t b_pos = 1100;
+  for (std::size_t k = 0; k < seed.span(); ++k) b_codes[b_pos + k] = a[a_pos + k];
+  b_codes[b_pos + wildcard] = complement(b_codes[b_pos + wildcard]);
+  const Sequence b("b", std::move(b_codes));
+
+  const SeedIndex index(a, seed);
+  const auto hits = index.find_hits(b);
+  EXPECT_TRUE(std::any_of(hits.begin(), hits.end(), [&](const SeedHit& h) {
+    return h.a_pos == a_pos && h.b_pos == b_pos;
+  }));
+}
+
+TEST(TransitionSeeds, RaisesSensitivityInDivergedDna) {
+  // On a ~80%-identity pair, transition tolerance must find noticeably more
+  // hits inside the homology (transitions are 2/3 of substitutions).
+  auto [a, b] = testing::related_pair(4000, 0.8, 9, 0.0);
+  const SeedIndex index(a, SpacedSeed::lastz_default());
+  const auto exact = index.find_hits(b);
+  const auto tolerant = index.find_hits(b, 0, 0x5eed, true);
+  EXPECT_GT(tolerant.size(), exact.size() + exact.size() / 2);
+}
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,91 @@
+#include "seed/ungapped_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_sequences.hpp"
+
+namespace fastz {
+namespace {
+
+using testing::random_dna;
+using testing::related_pair;
+
+TEST(UngappedFilter, ExtendsThroughHomology) {
+  auto [a, b] = related_pair(500, 0.95, 1, /*indel_rate=*/0.0);
+  const ScoreParams p = lastz_default_params();
+  const SeedHit hit{250, 250};
+  const UngappedHsp hsp = extend_ungapped(a, b, hit, 19, p);
+  EXPECT_GT(hsp.score, p.ungapped_threshold);
+  EXPECT_LT(hsp.a_begin, 100u);
+  EXPECT_GT(hsp.a_end, 400u);
+  // Ungapped: both segments have equal length.
+  EXPECT_EQ(hsp.a_end - hsp.a_begin, hsp.b_end - hsp.b_begin);
+}
+
+TEST(UngappedFilter, XdropStopsInUnrelatedDna) {
+  const Sequence a = random_dna(2000, 2);
+  const Sequence b = random_dna(2000, 3);
+  const ScoreParams p = lastz_default_params();
+  const UngappedHsp hsp = extend_ungapped(a, b, SeedHit{1000, 1000}, 19, p);
+  EXPECT_LT(hsp.a_end - hsp.a_begin, 100u);
+  EXPECT_LT(hsp.score, p.ungapped_threshold);
+}
+
+TEST(UngappedFilter, IndelBreaksUngappedExtension) {
+  // A homologous pair *with* an indel near the seed: gapped extension would
+  // bridge it, ungapped cannot — the sensitivity loss of Figure 2.
+  Xoshiro256 rng(4);
+  Sequence left = random_sequence("l", 300, rng);
+  Sequence right = random_sequence("r", 300, rng);
+  std::vector<BaseCode> a_codes, b_codes;
+  a_codes.insert(a_codes.end(), left.codes().begin(), left.codes().end());
+  a_codes.insert(a_codes.end(), right.codes().begin(), right.codes().end());
+  b_codes = a_codes;
+  // Insert 8 extra bases into B at position 320 (after the seed region).
+  for (int k = 0; k < 8; ++k) {
+    b_codes.insert(b_codes.begin() + 320, static_cast<BaseCode>(rng.below(4)));
+  }
+  const Sequence a("a", std::move(a_codes));
+  const Sequence b("b", std::move(b_codes));
+  const ScoreParams p = lastz_default_params();
+
+  const UngappedHsp hsp = extend_ungapped(a, b, SeedHit{280, 280}, 19, p);
+  // The rightward extension dies at the indel instead of covering the
+  // remaining 280 bp of homology.
+  EXPECT_LT(hsp.a_end, 340u);
+}
+
+TEST(UngappedFilter, FilterKeepsOnlyHighScoringSeeds) {
+  auto [a, b] = related_pair(800, 0.92, 5);
+  const ScoreParams p = lastz_default_params();
+  std::vector<SeedHit> hits;
+  // Genuine hit in homology plus fabricated off-homology hits.
+  hits.push_back({400, 400});
+  hits.push_back({100, 700});
+  hits.push_back({700, 100});
+  const auto kept = filter_seeds(a, b, hits, 19, p);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].seed.a_pos, 400u);
+}
+
+TEST(UngappedFilter, ScoreMatchesManualRecount) {
+  auto [a, b] = related_pair(200, 0.9, 6, 0.0);
+  const ScoreParams p = lastz_default_params();
+  const UngappedHsp hsp = extend_ungapped(a, b, SeedHit{100, 100}, 19, p);
+  Score manual = 0;
+  for (std::uint32_t k = 0; k < hsp.a_end - hsp.a_begin; ++k) {
+    manual += p.substitution(a[hsp.a_begin + k], b[hsp.b_begin + k]);
+  }
+  EXPECT_EQ(manual, hsp.score);
+}
+
+TEST(UngappedFilter, SeedAtEdgeIsSafe) {
+  auto [a, b] = related_pair(100, 0.9, 7, 0.0);
+  const ScoreParams p = lastz_default_params();
+  EXPECT_NO_THROW(extend_ungapped(a, b, SeedHit{0, 0}, 19, p));
+  const auto last = static_cast<std::uint32_t>(std::min(a.size(), b.size()) - 19);
+  EXPECT_NO_THROW(extend_ungapped(a, b, SeedHit{last, last}, 19, p));
+}
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,101 @@
+#include "sequence/benchmark_pairs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastz {
+namespace {
+
+TEST(BenchmarkPairs, Table1HasAllFifteenChromosomes) {
+  const auto species = table1_species();
+  EXPECT_EQ(species.size(), 15u);
+  // Spot-check the paper's exact values.
+  EXPECT_EQ(species[0].species, "C. elegans (chr1)");
+  EXPECT_EQ(species[0].basepairs, 15072434u);
+  EXPECT_EQ(species.back().species, "A. gambiae (chrX)");
+  EXPECT_EQ(species.back().basepairs, 24393108u);
+}
+
+TEST(BenchmarkPairs, NineSameGenusPairsInFigure7Order) {
+  const auto pairs = same_genus_pairs(0.01);
+  ASSERT_EQ(pairs.size(), 9u);
+  EXPECT_EQ(pairs[0].label, "C1_5,5");
+  EXPECT_EQ(pairs[1].label, "C1_2,2");
+  EXPECT_EQ(pairs[2].label, "C1_1,1");
+  EXPECT_EQ(pairs[3].label, "C1_3,3");
+  EXPECT_EQ(pairs[4].label, "C1_4,4");
+  EXPECT_EQ(pairs[5].label, "A1_X,X");
+  EXPECT_EQ(pairs[8].label, "D1_2R,2");
+  for (const auto& p : pairs) EXPECT_FALSE(p.cross_genus);
+}
+
+TEST(BenchmarkPairs, ScaleShrinksChromosomes) {
+  const auto big = same_genus_pairs(0.1);
+  const auto small = same_genus_pairs(0.01);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    EXPECT_GT(big[i].model.length_a, small[i].model.length_a);
+    EXPECT_NEAR(static_cast<double>(big[i].model.length_a),
+                static_cast<double>(big[i].full_length_a) * 0.1,
+                static_cast<double>(big[i].full_length_a) * 0.001);
+  }
+}
+
+TEST(BenchmarkPairs, CrossGenusPairsHaveNoLongSegments) {
+  // Section 5.4: cross-genus comparisons have no alignments in the two
+  // largest bins — their models must not plant segments that long.
+  for (const auto& p : cross_genus_pairs(0.02)) {
+    EXPECT_TRUE(p.cross_genus);
+    for (const auto& cls : p.model.segments) {
+      EXPECT_LE(cls.max_len, 2048u);
+    }
+  }
+}
+
+TEST(BenchmarkPairs, NematodesHaveLongestSegmentClasses) {
+  const auto pairs = same_genus_pairs(0.02);
+  auto max_len = [](const BenchmarkPair& p) {
+    std::uint64_t m = 0;
+    for (const auto& cls : p.model.segments) m = std::max(m, cls.max_len);
+    return m;
+  };
+  // Nematode pairs (first five) plant longer segments than the fruit fly.
+  EXPECT_GT(max_len(pairs[0]), max_len(pairs[8]));
+}
+
+TEST(BenchmarkPairs, Bin4DensityFollowsTable2Ordering) {
+  // The longest-segment class density must decrease along the Figure 7
+  // benchmark order within the nematode group (C1_5,5 ... C1_4,4).
+  const auto pairs = same_genus_pairs(0.02);
+  auto bin4_density = [](const BenchmarkPair& p) {
+    double d = 0;
+    for (const auto& cls : p.model.segments) {
+      if (cls.max_len > 8192) d += cls.per_mbp;
+    }
+    return d;
+  };
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_GE(bin4_density(pairs[i - 1]), bin4_density(pairs[i])) << i;
+  }
+}
+
+TEST(BenchmarkPairs, FindPairByLabel) {
+  const BenchmarkPair p = find_pair("C1_3,3", 0.01);
+  EXPECT_EQ(p.species_a, "C. elegans (chr3)");
+  EXPECT_THROW(find_pair("nope", 0.01), std::invalid_argument);
+}
+
+TEST(BenchmarkPairs, InvalidScaleThrows) {
+  EXPECT_THROW(same_genus_pairs(0.0), std::invalid_argument);
+  EXPECT_THROW(cross_genus_pairs(-1.0), std::invalid_argument);
+}
+
+TEST(BenchmarkPairs, GeneratorSeedsAreDistinct) {
+  const auto same = same_genus_pairs(0.01);
+  const auto cross = cross_genus_pairs(0.01);
+  std::set<std::uint64_t> seeds;
+  for (const auto& p : same) seeds.insert(p.generator_seed);
+  for (const auto& p : cross) seeds.insert(p.generator_seed);
+  EXPECT_EQ(seeds.size(), same.size() + cross.size());
+}
+
+}  // namespace
+}  // namespace fastz

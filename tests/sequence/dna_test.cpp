@@ -1,0 +1,57 @@
+#include "sequence/dna.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastz {
+namespace {
+
+TEST(Dna, EncodeDecodeRoundtrip) {
+  for (char c : {'A', 'C', 'G', 'T'}) {
+    const auto code = encode_base(c);
+    ASSERT_TRUE(code.has_value());
+    EXPECT_EQ(decode_base(*code), c);
+  }
+}
+
+TEST(Dna, LowercaseEncodes) {
+  EXPECT_EQ(encode_base('a'), encode_base('A'));
+  EXPECT_EQ(encode_base('t'), encode_base('T'));
+}
+
+TEST(Dna, AmbiguousReturnsNullopt) {
+  for (char c : {'N', 'n', 'R', '-', ' ', 'X', '\n'}) {
+    EXPECT_FALSE(encode_base(c).has_value()) << c;
+  }
+}
+
+TEST(Dna, ComplementPairs) {
+  EXPECT_EQ(complement(kBaseA), kBaseT);
+  EXPECT_EQ(complement(kBaseT), kBaseA);
+  EXPECT_EQ(complement(kBaseC), kBaseG);
+  EXPECT_EQ(complement(kBaseG), kBaseC);
+}
+
+TEST(Dna, ComplementIsInvolution) {
+  for (BaseCode b = 0; b < 4; ++b) EXPECT_EQ(complement(complement(b)), b);
+}
+
+TEST(Dna, TransitionsAreWithinPurinePyrimidineClasses) {
+  EXPECT_TRUE(is_transition(kBaseA, kBaseG));   // purine <-> purine
+  EXPECT_TRUE(is_transition(kBaseC, kBaseT));   // pyrimidine <-> pyrimidine
+  EXPECT_FALSE(is_transition(kBaseA, kBaseC));  // transversion
+  EXPECT_FALSE(is_transition(kBaseA, kBaseT));
+  EXPECT_FALSE(is_transition(kBaseA, kBaseA));  // identity is not a transition
+}
+
+TEST(Dna, TransitionOfMapsToPartner) {
+  EXPECT_EQ(transition_of(kBaseA), kBaseG);
+  EXPECT_EQ(transition_of(kBaseG), kBaseA);
+  EXPECT_EQ(transition_of(kBaseC), kBaseT);
+  EXPECT_EQ(transition_of(kBaseT), kBaseC);
+  for (BaseCode b = 0; b < 4; ++b) {
+    EXPECT_TRUE(is_transition(b, transition_of(b)));
+  }
+}
+
+}  // namespace
+}  // namespace fastz

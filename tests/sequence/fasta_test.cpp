@@ -1,0 +1,79 @@
+#include "sequence/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fastz {
+namespace {
+
+TEST(Fasta, ParsesMultipleRecords) {
+  std::istringstream in(">chr1 description here\nACGT\nACGT\n>chr2\nTTTT\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name(), "chr1");
+  EXPECT_EQ(records[0].to_string(), "ACGTACGT");
+  EXPECT_EQ(records[1].name(), "chr2");
+  EXPECT_EQ(records[1].to_string(), "TTTT");
+}
+
+TEST(Fasta, HandlesCrlfAndBlankLines) {
+  std::istringstream in(">a\r\nAC\r\n\r\nGT\r\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].to_string(), "ACGT");
+}
+
+TEST(Fasta, AmbiguousBasesRandomizeDeterministically) {
+  std::istringstream in1(">a\nANNNNNNNNNNC\n");
+  std::istringstream in2(">a\nANNNNNNNNNNC\n");
+  const auto r1 = read_fasta(in1);
+  const auto r2 = read_fasta(in2);
+  EXPECT_EQ(r1[0].to_string(), r2[0].to_string());
+  EXPECT_EQ(r1[0].size(), 12u);
+  EXPECT_EQ(r1[0].to_string().front(), 'A');
+  EXPECT_EQ(r1[0].to_string().back(), 'C');
+}
+
+TEST(Fasta, StrictModeRejectsAmbiguity) {
+  std::istringstream in(">a\nACGN\n");
+  FastaOptions options;
+  options.randomize_ambiguous = false;
+  EXPECT_THROW(read_fasta(in, options), std::runtime_error);
+}
+
+TEST(Fasta, DataBeforeHeaderThrows) {
+  std::istringstream in("ACGT\n>a\nACGT\n");
+  EXPECT_THROW(read_fasta(in), std::runtime_error);
+}
+
+TEST(Fasta, WriteReadRoundtrip) {
+  std::vector<Sequence> records;
+  records.push_back(Sequence::from_string("alpha", "ACGTACGTACGTACGTACGT"));
+  records.push_back(Sequence::from_string("beta", "TTTTCCCC"));
+
+  std::ostringstream out;
+  write_fasta(out, records, 8);
+  std::istringstream in(out.str());
+  const auto parsed = read_fasta(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name(), "alpha");
+  EXPECT_EQ(parsed[0].to_string(), records[0].to_string());
+  EXPECT_EQ(parsed[1].to_string(), records[1].to_string());
+}
+
+TEST(Fasta, WrapsLines) {
+  std::vector<Sequence> records;
+  records.push_back(Sequence::from_string("x", "ACGTACGTAC"));
+  std::ostringstream out;
+  write_fasta(out, records, 4);
+  EXPECT_EQ(out.str(), ">x\nACGT\nACGT\nAC\n");
+}
+
+TEST(Fasta, EmptyStreamYieldsNothing) {
+  std::istringstream in("");
+  EXPECT_TRUE(read_fasta(in).empty());
+}
+
+}  // namespace
+}  // namespace fastz

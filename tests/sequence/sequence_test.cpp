@@ -1,0 +1,57 @@
+#include "sequence/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastz {
+namespace {
+
+TEST(Sequence, FromStringRoundtrip) {
+  const Sequence s = Sequence::from_string("chr", "ACGTTGCA");
+  EXPECT_EQ(s.name(), "chr");
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.to_string(), "ACGTTGCA");
+}
+
+TEST(Sequence, FromStringRejectsAmbiguity) {
+  EXPECT_THROW(Sequence::from_string("x", "ACGN"), std::invalid_argument);
+}
+
+TEST(Sequence, SubsequenceCopiesWindow) {
+  const Sequence s = Sequence::from_string("chr", "ACGTTGCA");
+  const Sequence sub = s.subsequence(2, 4);
+  EXPECT_EQ(sub.to_string(), "GTTG");
+  EXPECT_EQ(sub.name(), "chr:2-6");
+}
+
+TEST(Sequence, SubsequenceOutOfRangeThrows) {
+  const Sequence s = Sequence::from_string("chr", "ACGT");
+  EXPECT_THROW(s.subsequence(2, 10), std::out_of_range);
+}
+
+TEST(Sequence, ReverseComplement) {
+  const Sequence s = Sequence::from_string("chr", "AACGT");
+  EXPECT_EQ(s.reverse_complement().to_string(), "ACGTT");
+}
+
+TEST(Sequence, ReverseComplementIsInvolution) {
+  const Sequence s = Sequence::from_string("chr", "ACGTTGCAGGT");
+  EXPECT_EQ(s.reverse_complement().reverse_complement().to_string(), s.to_string());
+}
+
+TEST(Sequence, CodesSpanView) {
+  const Sequence s = Sequence::from_string("chr", "ACGT");
+  const auto span = s.codes(1, 2);
+  EXPECT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[0], kBaseC);
+  EXPECT_EQ(span[1], kBaseG);
+}
+
+TEST(Sequence, EmptySequence) {
+  const Sequence s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.to_string(), "");
+}
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,33 @@
+// Shared helpers for generating deterministic test sequences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "sequence/genome_synth.hpp"
+#include "sequence/sequence.hpp"
+#include "util/prng.hpp"
+
+namespace fastz::testing {
+
+inline Sequence random_dna(std::size_t length, std::uint64_t seed,
+                           std::string name = "rand") {
+  Xoshiro256 rng(seed);
+  return random_sequence(std::move(name), length, rng);
+}
+
+// A pair where `second` is `first` passed through a substitution/indel
+// channel with the given identity.
+inline std::pair<Sequence, Sequence> related_pair(std::size_t length, double identity,
+                                                  std::uint64_t seed,
+                                                  double indel_rate = 0.002) {
+  Xoshiro256 rng(seed);
+  Sequence a = random_sequence("a", length, rng);
+  MutationChannel channel;
+  channel.indel_rate = indel_rate;
+  auto codes = mutate_segment(a.codes(), identity, channel, rng);
+  return {std::move(a), Sequence("b", std::move(codes))};
+}
+
+}  // namespace fastz::testing

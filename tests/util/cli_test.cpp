@@ -1,0 +1,77 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastz {
+namespace {
+
+CliParser make_cli() {
+  CliParser cli("test program");
+  cli.add_flag("scale", "a scale", "1.5");
+  cli.add_flag("count", "a count", "10");
+  cli.add_flag("verbose", "a bool", "0");
+  return cli;
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 1.5);
+  EXPECT_EQ(cli.get_int("count"), 10);
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  CliParser cli = make_cli();
+  const char* argv[] = {"prog", "--count", "42"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("count"), 42);
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  CliParser cli = make_cli();
+  const char* argv[] = {"prog", "--scale=0.25", "--verbose=true"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 0.25);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliParser cli = make_cli();
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(cli.parse(3, argv), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli = make_cli();
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, PositionalArgumentThrows) {
+  CliParser cli = make_cli();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli = make_cli();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, DuplicateFlagRegistrationThrows) {
+  CliParser cli = make_cli();
+  EXPECT_THROW(cli.add_flag("scale", "dup", "2"), std::invalid_argument);
+}
+
+TEST(Cli, HelpListsFlags) {
+  CliParser cli = make_cli();
+  const std::string help = cli.help();
+  EXPECT_NE(help.find("--scale"), std::string::npos);
+  EXPECT_NE(help.find("--count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fastz {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TextTable, RejectsWideRows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.add_row({"x", "y"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(std::uint64_t{12345}), "12345");
+  EXPECT_EQ(TextTable::num(std::int64_t{-7}), "-7");
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.render_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(AsciiBar, ScalesAndClamps) {
+  EXPECT_EQ(ascii_bar(0.5, 40).size(), 20u);
+  EXPECT_EQ(ascii_bar(0.0, 40).size(), 0u);
+  EXPECT_EQ(ascii_bar(1.0, 40).size(), 40u);
+  EXPECT_EQ(ascii_bar(2.0, 40).size(), 40u);   // clamped
+  EXPECT_EQ(ascii_bar(-1.0, 40).size(), 0u);   // clamped
+}
+
+}  // namespace
+}  // namespace fastz
