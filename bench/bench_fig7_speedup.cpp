@@ -5,11 +5,20 @@
 // multicore (~20x), FastZ on Pascal / Volta / Ampere (means 43x / 93x /
 // 111x). Benchmarks are ordered by decreasing bin-4 census; fewer long
 // alignments => higher FastZ speedup.
+//
+// The derivation sweep is repeated (>= 3x) and the min/median wallclock of
+// the repeats is reported; results are persisted as a BenchReport
+// (BENCH_fig7.json) and, with --trace, a Chrome trace timeline.
+#include <algorithm>
 #include <iostream>
 
 #include "report/experiment.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/cli.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 using namespace fastz;
 
@@ -18,18 +27,37 @@ int main(int argc, char** argv) {
                 "same-genus benchmarks.");
   add_harness_flags(cli);
   cli.add_flag("csv", "emit CSV instead of an aligned table", "0");
+  cli.add_flag("repeats", "measurement repeats of the derivation sweep (minimum 3)", "3");
+  cli.add_flag("json", "write a BenchReport JSON to this path (empty: skip)",
+               "BENCH_fig7.json");
+  cli.add_flag("trace", "write a Chrome trace to this path (enables telemetry)", "");
   if (!cli.parse(argc, argv)) return 0;
   const bool csv = cli.get_bool("csv");
+  const int repeats = static_cast<int>(std::max<std::int64_t>(3, cli.get_int("repeats")));
+  const std::string json_path = cli.get("json");
+  const std::string trace_path = cli.get("trace");
+  if (!trace_path.empty()) telemetry::set_enabled(true);
   const HarnessOptions options = harness_options_from(cli);
   const ScoreParams params = harness_score_params(options);
 
   const std::vector<PreparedPair> prepared =
       prepare_pairs(same_genus_pairs(options.scale), params, options);
 
+  // The modeled speedups are deterministic; the repeats measure the
+  // harness's own wallclock so the persisted numbers carry an error bar.
   std::vector<SpeedupRow> rows;
-  rows.reserve(prepared.size());
-  for (const PreparedPair& pair : prepared) rows.push_back(compute_speedups(pair));
-  rows.push_back(mean_row(rows));
+  std::vector<double> wallclocks;
+  wallclocks.reserve(static_cast<std::size_t>(repeats));
+  for (int rep = 0; rep < repeats; ++rep) {
+    Timer timer;
+    rows.clear();
+    rows.reserve(prepared.size() + 1);
+    for (const PreparedPair& pair : prepared) rows.push_back(compute_speedups(pair));
+    rows.push_back(mean_row(rows));
+    wallclocks.push_back(timer.elapsed_s());
+  }
+  const double wall_min = *std::min_element(wallclocks.begin(), wallclocks.end());
+  const double wall_median = percentile(wallclocks, 50.0);
 
   std::cout << "=== Figure 7: speedup over sequential LASTZ ===\n";
   TextTable t({"Benchmark", "GPUbase-P", "GPUbase-V", "GPUbase-A", "Multicore",
@@ -42,6 +70,30 @@ int main(int argc, char** argv) {
                TextTable::num(r.fastz_volta, 1), TextTable::num(r.fastz_ampere, 1)});
   }
   t.render(std::cout, csv);
+  std::cout << "\nDerivation sweep wallclock over " << repeats
+            << " repeats: min " << TextTable::num(wall_min * 1e3, 1) << " ms, median "
+            << TextTable::num(wall_median * 1e3, 1) << " ms\n";
+
+  if (!json_path.empty()) {
+    telemetry::BenchReport report = speedup_report(rows);
+    report.set_repeats(repeats);
+    add_harness_config(report, options);
+    report.add_metric("wallclock_min_s", wall_min);
+    report.add_metric("wallclock_median_s", wall_median);
+    report.add_registry_counters(telemetry::MetricsRegistry::global());
+    if (report.write_file(json_path)) {
+      std::cout << "wrote " << json_path << "\n";
+    } else {
+      std::cerr << "failed to write " << json_path << "\n";
+    }
+  }
+  if (!trace_path.empty()) {
+    if (telemetry::write_chrome_trace_file(trace_path)) {
+      std::cout << "wrote " << trace_path << "\n";
+    } else {
+      std::cerr << "failed to write " << trace_path << "\n";
+    }
+  }
 
   std::cout << "\nPaper's values to compare: GPU baseline 0.57-0.82x (slowdown), "
                "multicore ~20x, FastZ means 43x (Pascal), 93x (Volta), "

@@ -5,9 +5,14 @@
 // allocation, copies, bin sorting) the remainder — visible at all only
 // because FastZ accelerated the DP stages so much. Benchmarks with smaller
 // bin-4 counts spend relatively less time in inspector+executor.
+//
+// Per-benchmark stage times are persisted as a BenchReport
+// (BENCH_fig8.json); with --trace the run also emits a Chrome trace.
 #include <iostream>
 
 #include "report/experiment.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -18,8 +23,14 @@ int main(int argc, char** argv) {
                 "(inspector / executor / other) on Ampere.");
   add_harness_flags(cli);
   cli.add_flag("csv", "emit CSV instead of an aligned table", "0");
+  cli.add_flag("json", "write a BenchReport JSON to this path (empty: skip)",
+               "BENCH_fig8.json");
+  cli.add_flag("trace", "write a Chrome trace to this path (enables telemetry)", "");
   if (!cli.parse(argc, argv)) return 0;
   const bool csv = cli.get_bool("csv");
+  const std::string json_path = cli.get("json");
+  const std::string trace_path = cli.get("trace");
+  if (!trace_path.empty()) telemetry::set_enabled(true);
   const HarnessOptions options = harness_options_from(cli);
   const ScoreParams params = harness_score_params(options);
 
@@ -42,6 +53,24 @@ int main(int argc, char** argv) {
                ascii_bar(fi, 30) + "|" + ascii_bar(fe, 30) + "|" + ascii_bar(fo, 30)});
   }
   t.render(std::cout, csv);
+
+  if (!json_path.empty()) {
+    telemetry::BenchReport report = breakdown_report(prepared, config, ampere);
+    add_harness_config(report, options);
+    report.add_registry_counters(telemetry::MetricsRegistry::global());
+    if (report.write_file(json_path)) {
+      std::cout << "wrote " << json_path << "\n";
+    } else {
+      std::cerr << "failed to write " << json_path << "\n";
+    }
+  }
+  if (!trace_path.empty()) {
+    if (telemetry::write_chrome_trace_file(trace_path)) {
+      std::cout << "wrote " << trace_path << "\n";
+    } else {
+      std::cerr << "failed to write " << trace_path << "\n";
+    }
+  }
 
   std::cout << "\nPaper's shape to compare: inspector ~2/3 (up to 79%), executor "
                "~10%, other the rest; lower bin-4 benchmarks have smaller "

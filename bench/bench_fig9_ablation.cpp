@@ -9,10 +9,15 @@
 //   FastZ with a single CUDA stream:       /1.7, /1.7, /2.4
 // No single optimization dominates; relative contributions are ~1.4x
 // (inspector+LB), 5.8x (cyclic), 3x (eager), 3.4x (trimming).
+//
+// The ladder is persisted as a BenchReport (BENCH_fig9.json); with --trace
+// the run also emits a Chrome trace.
 #include <iostream>
 #include <vector>
 
 #include "report/experiment.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -24,8 +29,14 @@ int main(int argc, char** argv) {
                 "on the three GPUs (mean speedup over sequential LASTZ).");
   add_harness_flags(cli);
   cli.add_flag("csv", "emit CSV instead of an aligned table", "0");
+  cli.add_flag("json", "write a BenchReport JSON to this path (empty: skip)",
+               "BENCH_fig9.json");
+  cli.add_flag("trace", "write a Chrome trace to this path (enables telemetry)", "");
   if (!cli.parse(argc, argv)) return 0;
   const bool csv = cli.get_bool("csv");
+  const std::string json_path = cli.get("json");
+  const std::string trace_path = cli.get("trace");
+  if (!trace_path.empty()) telemetry::set_enabled(true);
   const HarnessOptions options = harness_options_from(cli);
   const ScoreParams params = harness_score_params(options);
 
@@ -35,24 +46,25 @@ int main(int argc, char** argv) {
 
   struct Config {
     const char* name;
+    const char* key;  // metric-friendly slug
     FastzConfig config;
   };
   std::vector<Config> ladder;
   {
     FastzConfig base = FastzConfig::load_balance_only();
-    ladder.push_back({"inspector-executor + load balancing", base});
+    ladder.push_back({"inspector-executor + load balancing", "load_balance", base});
     FastzConfig cyc = base;
     cyc.with_cyclic_buffers();
-    ladder.push_back({"+ cyclic use-and-discard", cyc});
+    ladder.push_back({"+ cyclic use-and-discard", "cyclic_buffers", cyc});
     FastzConfig eag = cyc;
     eag.with_eager_traceback();
-    ladder.push_back({"+ eager traceback", eag});
+    ladder.push_back({"+ eager traceback", "eager_traceback", eag});
     FastzConfig trim = eag;
     trim.with_executor_trimming();
-    ladder.push_back({"+ executor trimming (= FastZ)", trim});
+    ladder.push_back({"+ executor trimming (= FastZ)", "fastz_full", trim});
     FastzConfig single = trim;
     single.streams = 1;
-    ladder.push_back({"FastZ, single stream", single});
+    ladder.push_back({"FastZ, single stream", "single_stream", single});
   }
 
   auto mean_speedup = [&](const FastzConfig& config, const gpusim::DeviceSpec& dev) {
@@ -65,14 +77,38 @@ int main(int argc, char** argv) {
     return geometric_mean(speedups);
   };
 
+  telemetry::BenchReport report("fig9_ablation");
+  add_harness_config(report, options);
+
   std::cout << "=== Figure 9: isolating the impact of FastZ's optimizations ===\n";
   TextTable t({"Configuration", "Pascal", "Volta", "Ampere"});
   for (const Config& c : ladder) {
-    t.add_row({c.name, TextTable::num(mean_speedup(c.config, devices.pascal), 1),
-               TextTable::num(mean_speedup(c.config, devices.volta), 1),
-               TextTable::num(mean_speedup(c.config, devices.ampere), 1)});
+    const double pascal = mean_speedup(c.config, devices.pascal);
+    const double volta = mean_speedup(c.config, devices.volta);
+    const double ampere = mean_speedup(c.config, devices.ampere);
+    t.add_row({c.name, TextTable::num(pascal, 1), TextTable::num(volta, 1),
+               TextTable::num(ampere, 1)});
+    report.add_metric(std::string(c.key) + ".pascal", pascal);
+    report.add_metric(std::string(c.key) + ".volta", volta);
+    report.add_metric(std::string(c.key) + ".ampere", ampere);
   }
   t.render(std::cout, csv);
+
+  if (!json_path.empty()) {
+    report.add_registry_counters(telemetry::MetricsRegistry::global());
+    if (report.write_file(json_path)) {
+      std::cout << "wrote " << json_path << "\n";
+    } else {
+      std::cerr << "failed to write " << json_path << "\n";
+    }
+  }
+  if (!trace_path.empty()) {
+    if (telemetry::write_chrome_trace_file(trace_path)) {
+      std::cout << "wrote " << trace_path << "\n";
+    } else {
+      std::cerr << "failed to write " << trace_path << "\n";
+    }
+  }
 
   std::cout << "\nPaper's ladder to compare (Pascal/Volta/Ampere): 0.92-2.8x -> "
                "4.7/6.1/17x -> 15/21/46x -> 43/93/111x; single stream divides "

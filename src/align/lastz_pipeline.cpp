@@ -6,6 +6,8 @@
 #include "align/coverage_map.hpp"
 #include "seed/chaining.hpp"
 #include "seed/ungapped_filter.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/timer.hpp"
 
 namespace fastz {
@@ -36,19 +38,25 @@ void deduplicate_alignments(std::vector<Alignment>& alignments) {
 PipelineResult run_lastz(const Sequence& a, const Sequence& b, const ScoreParams& params,
                          const PipelineOptions& options) {
   params.validate();
+  telemetry::TraceSpan pipeline_span("lastz.pipeline", "lastz");
   PipelineResult result;
   Timer total;
 
   // Stage 1: seeding.
   Timer stage;
   const SpacedSeed seed = SpacedSeed::lastz_default();
-  std::vector<SeedHit> hits = enumerate_seeds(a, b, options);
+  std::vector<SeedHit> hits;
+  {
+    telemetry::TraceSpan span("lastz.seeding", "lastz");
+    hits = enumerate_seeds(a, b, options);
+  }
   result.counters.seed_hits = hits.size();
   result.counters.seed_time_s = stage.elapsed_s();
 
   // Stage 2: optional ungapped filtering (and optional chaining on top).
   stage.reset();
   if (options.use_ungapped_filter) {
+    telemetry::TraceSpan span("lastz.filtering", "lastz");
     std::vector<UngappedHsp> kept = filter_seeds(a, b, hits, seed.span(), params);
     if (options.chain_hsps) kept = best_chain(std::move(kept));
     hits.clear();
@@ -60,28 +68,41 @@ PipelineResult run_lastz(const Sequence& a, const Sequence& b, const ScoreParams
 
   // Stage 3: gapped extension (the >99% component).
   stage.reset();
-  CoverageMap covered;
-  for (const SeedHit& hit : hits) {
-    if (options.stop_at_prior_alignment) {
-      const std::uint64_t anchor_a = hit.a_pos + seed.span() / 2;
-      const std::uint64_t anchor_b = hit.b_pos + seed.span() / 2;
-      if (covered.covers(anchor_a, anchor_b)) {
-        ++result.counters.seeds_skipped;
-        continue;
+  {
+    telemetry::TraceSpan extend_span("lastz.gapped_extension", "lastz");
+    CoverageMap covered;
+    for (const SeedHit& hit : hits) {
+      if (options.stop_at_prior_alignment) {
+        const std::uint64_t anchor_a = hit.a_pos + seed.span() / 2;
+        const std::uint64_t anchor_b = hit.b_pos + seed.span() / 2;
+        if (covered.covers(anchor_a, anchor_b)) {
+          ++result.counters.seeds_skipped;
+          continue;
+        }
       }
-    }
-    GappedExtension ext = extend_seed(a, b, hit, seed.span(), params, options.one_sided);
-    result.counters.dp_cells += ext.total_cells();
-    if (ext.alignment.score >= params.gapped_threshold) {
-      result.counters.traceback_columns += ext.alignment.ops.size();
-      if (options.stop_at_prior_alignment) covered.add(ext.alignment);
-      result.alignments.push_back(std::move(ext.alignment));
+      GappedExtension ext = extend_seed(a, b, hit, seed.span(), params, options.one_sided);
+      result.counters.dp_cells += ext.total_cells();
+      if (ext.alignment.score >= params.gapped_threshold) {
+        result.counters.traceback_columns += ext.alignment.ops.size();
+        if (options.stop_at_prior_alignment) covered.add(ext.alignment);
+        result.alignments.push_back(std::move(ext.alignment));
+      }
     }
   }
   result.counters.extend_time_s = stage.elapsed_s();
 
   if (options.deduplicate) deduplicate_alignments(result.alignments);
   result.counters.total_time_s = total.elapsed_s();
+
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::MetricsRegistry::global();
+    reg.counter("lastz.seed_hits").add(result.counters.seed_hits);
+    reg.counter("lastz.seeds_extended").add(result.counters.seeds_extended);
+    reg.counter("lastz.seeds_skipped").add(result.counters.seeds_skipped);
+    reg.counter("lastz.dp_cells").add(result.counters.dp_cells);
+    reg.counter("lastz.traceback_columns").add(result.counters.traceback_columns);
+    reg.counter("lastz.alignments").add(result.alignments.size());
+  }
   return result;
 }
 

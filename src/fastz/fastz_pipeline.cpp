@@ -1,8 +1,11 @@
 #include "fastz/fastz_pipeline.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "fastz/strip_kernel.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/timer.hpp"
 
 namespace fastz {
@@ -26,36 +29,109 @@ struct TaskAccumulator {
   gpusim::MemoryLedger ledger;
 };
 
+// Registry export of one derive()'s outcome: modeled stage times, ledger
+// traffic, and the executor's per-bin work composition. Called only when
+// telemetry is enabled.
+void record_derive(const FastzRun& run,
+                   const std::vector<std::vector<gpusim::WarpTask>>& bin_tasks,
+                   const std::vector<std::vector<std::uint64_t>>& bin_allocs) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  reg.counter("fastz.derive.count").add(1);
+  reg.counter("fastz.derive.executor_kernels").add(run.executor_kernels);
+  reg.counter("fastz.derive.eager_handled").add(run.eager_handled);
+  reg.counter("fastz.derive.executor_tasks").add(run.executor_tasks);
+
+  reg.counter("fastz.modeled.inspector_ns")
+      .add(static_cast<std::uint64_t>(run.modeled.inspector_s * 1e9));
+  reg.counter("fastz.modeled.executor_ns")
+      .add(static_cast<std::uint64_t>(run.modeled.executor_s * 1e9));
+  reg.counter("fastz.modeled.other_ns")
+      .add(static_cast<std::uint64_t>(run.modeled.other_s * 1e9));
+
+  const gpusim::MemoryLedger& led = run.ledger;
+  reg.counter("fastz.ledger.score_read_bytes").add(led.score_read_bytes);
+  reg.counter("fastz.ledger.score_write_bytes").add(led.score_write_bytes);
+  reg.counter("fastz.ledger.boundary_spill_bytes").add(led.boundary_spill_bytes);
+  reg.counter("fastz.ledger.traceback_bytes").add(led.traceback_bytes);
+  reg.counter("fastz.ledger.traceback_wire_bytes").add(led.traceback_wire_bytes);
+  reg.counter("fastz.ledger.sequence_bytes").add(led.sequence_bytes);
+  reg.counter("fastz.ledger.host_copy_bytes").add(led.host_copy_bytes);
+
+  for (std::size_t bin = 0; bin < bin_tasks.size(); ++bin) {
+    if (bin_tasks[bin].empty()) continue;
+    std::uint64_t instructions = 0;
+    std::uint64_t mem_bytes = 0;
+    std::uint64_t cells = 0;
+    for (const gpusim::WarpTask& task : bin_tasks[bin]) {
+      instructions += task.warp_instructions;
+      mem_bytes += task.mem_bytes;
+    }
+    for (const std::uint64_t alloc : bin_allocs[bin]) cells += alloc;
+    const std::string prefix = "fastz.executor.bin" + std::to_string(bin);
+    reg.counter(prefix + ".tasks").add(bin_tasks[bin].size());
+    reg.counter(prefix + ".cells").add(cells);
+    reg.counter(prefix + ".warp_instructions").add(instructions);
+    reg.counter(prefix + ".mem_bytes").add(mem_bytes);
+  }
+}
+
 }  // namespace
 
 FastzStudy::FastzStudy(const Sequence& a, const Sequence& b, const ScoreParams& params,
                        const PipelineOptions& base) {
+  telemetry::TraceSpan pass_span("fastz.functional_pass");
   Timer wallclock;
   params.validate();
   sequence_bytes_ = a.size() + b.size();
 
   const SpacedSeed seed = SpacedSeed::lastz_default();
-  const std::vector<SeedHit> hits = enumerate_seeds(a, b, base);
+  std::vector<SeedHit> hits;
+  {
+    telemetry::TraceSpan span("fastz.seeding");
+    hits = enumerate_seeds(a, b, base);
+  }
+
+  // Per-seed observability: cached instruments so the loop below touches
+  // the registry lock once, not per seed.
+  const bool telem = telemetry::enabled();
+  telemetry::LogHistogram* h_search_cells = nullptr;
+  telemetry::LogHistogram* h_trimmed_cells = nullptr;
+  telemetry::Counter* c_eager = nullptr;
+  if (telem) {
+    auto& reg = telemetry::MetricsRegistry::global();
+    reg.counter("fastz.seeds").add(hits.size());
+    h_search_cells = &reg.histogram("fastz.seed.search_cells");
+    h_trimmed_cells = &reg.histogram("fastz.seed.trimmed_cells");
+    c_eager = &reg.counter("fastz.seeds.eager");
+  }
 
   const FastzConfig functional = FastzConfig::full();
   seed_work_.reserve(hits.size());
 
+  telemetry::TraceSpan loop_span("fastz.inspect_and_execute");
   for (const SeedHit& hit : hits) {
     SeedWork work;
-    work.inspection =
-        inspect_seed(a, b, hit, seed.span(), params, functional, base.one_sided);
+    {
+      telemetry::TraceSpan span("fastz.inspect_seed");
+      work.inspection =
+          inspect_seed(a, b, hit, seed.span(), params, functional, base.one_sided);
+    }
     inspector_cells_ += work.inspection.search_cells();
+    if (telem) h_search_cells->record(work.inspection.search_cells());
 
     if (work.inspection.eager) {
+      if (telem) c_eager->add(1);
       if (work.inspection.score >= params.gapped_threshold) {
         work.has_alignment = true;
         alignments_.push_back(work.inspection.alignment);
       }
     } else {
+      telemetry::TraceSpan span("fastz.execute_seed");
       ExecutorOutcome exec =
           execute_seed(a, b, work.inspection, params, functional, base.one_sided);
       work.trimmed_cells = exec.cells;
       work.trimmed_geom = exec.geom;
+      if (telem) h_trimmed_cells->record(exec.cells);
       if (exec.alignment.score >= params.gapped_threshold) {
         work.has_alignment = true;
         alignments_.push_back(std::move(exec.alignment));
@@ -65,6 +141,11 @@ FastzStudy::FastzStudy(const Sequence& a, const Sequence& b, const ScoreParams& 
   }
 
   if (base.deduplicate) deduplicate_alignments(alignments_);
+  if (telem) {
+    telemetry::MetricsRegistry::global()
+        .counter("fastz.alignments")
+        .add(alignments_.size());
+  }
   functional_wallclock_s_ = wallclock.elapsed_s();
 }
 
@@ -80,6 +161,7 @@ BinCensus FastzStudy::census() const {
 FastzRun FastzStudy::derive(const FastzConfig& config, const gpusim::DeviceSpec& device,
                             std::uint32_t shard_count, std::uint32_t shard_index) const {
   if (shard_count == 0) shard_count = 1;
+  telemetry::TraceSpan derive_span("fastz.derive");
   FastzRun run;
   run.config = config;
   const gpusim::KernelSimulator sim(device);
@@ -241,6 +323,7 @@ FastzRun FastzStudy::derive(const FastzConfig& config, const gpusim::DeviceSpec&
   run.modeled.other_s = static_cast<double>(sequence_bytes_) * kHostPrepPerSequenceByte +
                         static_cast<double>(run.seeds) * kHostPerSeed +
                         static_cast<double>(copy_bytes) / (device.pcie_bandwidth_gbps * 1e9);
+  if (telemetry::enabled()) record_derive(run, bin_tasks, bin_allocs);
   return run;
 }
 

@@ -3,7 +3,31 @@
 #include <algorithm>
 #include <queue>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+
 namespace fastz::gpusim {
+
+namespace {
+
+// Modeled (virtual-GPU) per-kernel components, recorded as integer
+// nanoseconds so they land in the same counter/histogram machinery as the
+// functional counters. Gated on the telemetry flag by the caller.
+void record_kernel_cost(const KernelCost& cost) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  reg.counter("gpusim.kernels").add(1);
+  reg.counter("gpusim.kernel.compute_ns")
+      .add(static_cast<std::uint64_t>(cost.compute_time_s * 1e9));
+  reg.counter("gpusim.kernel.memory_ns")
+      .add(static_cast<std::uint64_t>(cost.memory_time_s * 1e9));
+  reg.counter("gpusim.kernel.launch_ns")
+      .add(static_cast<std::uint64_t>(cost.launch_overhead_s * 1e9));
+  reg.counter("gpusim.kernel.warp_instructions").add(cost.warp_instructions);
+  reg.counter("gpusim.kernel.mem_bytes").add(cost.mem_bytes);
+  reg.histogram("gpusim.kernel.tasks").record(cost.tasks);
+}
+
+}  // namespace
 
 double KernelSimulator::task_time_s(const WarpTask& task) const noexcept {
   // Latency of the task running alone: a single warp progresses at its
@@ -55,6 +79,7 @@ KernelCost KernelSimulator::run_kernel(std::span<const WarpTask> tasks) const {
   cost.memory_time_s =
       static_cast<double>(cost.mem_bytes) / spec_.sustained_bandwidth_bytes_per_s();
   cost.time_s = std::max(cost.compute_time_s, cost.memory_time_s) + cost.launch_overhead_s;
+  if (telemetry::enabled()) record_kernel_cost(cost);
   return cost;
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "align/extension.hpp"
+#include "telemetry/trace.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -24,6 +25,7 @@ MulticoreResult run_multicore_lastz(const Sequence& a, const Sequence& b,
                                     const PipelineOptions& options,
                                     const MulticoreOptions& mc) {
   params.validate();
+  telemetry::TraceSpan pipeline_span("multicore.pipeline", "pool");
   MulticoreResult result;
   Timer total;
 
@@ -61,6 +63,7 @@ MulticoreResult run_multicore_lastz(const Sequence& a, const Sequence& b,
     workers.reserve(pool.size());
     for (std::size_t w = 0; w < pool.size(); ++w) {
       workers.push_back(pool.submit([&] {
+        telemetry::TraceSpan worker_span("multicore.worker", "pool");
         for (;;) {
           const std::size_t begin = cursor.fetch_add(chunk);
           if (begin >= outcomes.size()) return;

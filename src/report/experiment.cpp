@@ -94,6 +94,42 @@ SpeedupRow compute_speedups(const PreparedPair& pair) {
   return row;
 }
 
+void add_harness_config(telemetry::BenchReport& report, const HarnessOptions& options) {
+  report.add_config("scale", std::to_string(options.scale));
+  report.add_config("max_seeds", std::to_string(options.max_seeds));
+  report.add_config("sample_seed", std::to_string(options.sample_seed));
+  report.add_config("ydrop", std::to_string(options.ydrop));
+}
+
+telemetry::BenchReport breakdown_report(const std::vector<PreparedPair>& prepared,
+                                        const FastzConfig& config,
+                                        const gpusim::DeviceSpec& device) {
+  telemetry::BenchReport report("fig8_breakdown");
+  report.add_config("device", device.name);
+  for (const PreparedPair& pair : prepared) {
+    const FastzRun run = pair.study->derive(config, device);
+    report.add_stage(pair.spec.label + ".inspector", run.modeled.inspector_s);
+    report.add_stage(pair.spec.label + ".executor", run.modeled.executor_s);
+    report.add_stage(pair.spec.label + ".other", run.modeled.other_s);
+    report.add_metric(pair.spec.label + ".total_s", run.modeled.total_s());
+  }
+  return report;
+}
+
+telemetry::BenchReport speedup_report(const std::vector<SpeedupRow>& rows) {
+  telemetry::BenchReport report("fig7_speedup");
+  for (const SpeedupRow& r : rows) {
+    report.add_metric(r.label + ".gpu_baseline_pascal", r.gpu_baseline_pascal);
+    report.add_metric(r.label + ".gpu_baseline_volta", r.gpu_baseline_volta);
+    report.add_metric(r.label + ".gpu_baseline_ampere", r.gpu_baseline_ampere);
+    report.add_metric(r.label + ".multicore", r.multicore);
+    report.add_metric(r.label + ".fastz_pascal", r.fastz_pascal);
+    report.add_metric(r.label + ".fastz_volta", r.fastz_volta);
+    report.add_metric(r.label + ".fastz_ampere", r.fastz_ampere);
+  }
+  return report;
+}
+
 SpeedupRow mean_row(const std::vector<SpeedupRow>& rows) {
   auto gather = [&](auto member) {
     std::vector<double> v;

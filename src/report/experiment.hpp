@@ -14,6 +14,7 @@
 #include "fastz/fastz_pipeline.hpp"
 #include "gpusim/device_spec.hpp"
 #include "sequence/benchmark_pairs.hpp"
+#include "telemetry/bench_report.hpp"
 #include "util/cli.hpp"
 
 namespace fastz {
@@ -83,5 +84,24 @@ SpeedupRow compute_speedups(const PreparedPair& pair);
 
 // Geometric-mean row across a set of rows (labelled "mean").
 SpeedupRow mean_row(const std::vector<SpeedupRow>& rows);
+
+// ---- Machine-readable exports (BENCH_*.json) --------------------------------
+//
+// The report builders are shared between the bench binaries and the test
+// suite, so the persisted schema is covered by tests.
+
+// Records the harness knobs into the report's config block.
+void add_harness_config(telemetry::BenchReport& report, const HarnessOptions& options);
+
+// Figure 8: per-benchmark inspector / executor / other modeled stage times
+// (seconds) plus a "<label>.total_s" metric per benchmark. The three stages
+// of one benchmark sum to its total by construction.
+telemetry::BenchReport breakdown_report(const std::vector<PreparedPair>& prepared,
+                                        const FastzConfig& config,
+                                        const gpusim::DeviceSpec& device);
+
+// Figure 7: per-benchmark speedups over sequential LASTZ as metrics
+// ("<label>.fastz_ampere", ...), including the "mean" row.
+telemetry::BenchReport speedup_report(const std::vector<SpeedupRow>& rows);
 
 }  // namespace fastz

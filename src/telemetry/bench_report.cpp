@@ -1,0 +1,73 @@
+#include "telemetry/bench_report.hpp"
+
+#include <fstream>
+
+#include "telemetry/json.hpp"
+
+namespace fastz::telemetry {
+
+void BenchReport::add_config(std::string key, std::string value) {
+  config_.emplace_back(std::move(key), std::move(value));
+}
+
+void BenchReport::add_stage(std::string name, double seconds) {
+  stages_.push_back({std::move(name), seconds});
+}
+
+void BenchReport::add_metric(std::string name, double value) {
+  metrics_.emplace_back(std::move(name), value);
+}
+
+void BenchReport::add_counter(std::string name, std::uint64_t value) {
+  counters_.emplace_back(std::move(name), value);
+}
+
+void BenchReport::add_registry_counters(const MetricsRegistry& registry) {
+  for (auto& [name, value] : registry.counter_snapshot()) {
+    if (value != 0) counters_.emplace_back(name, value);
+  }
+}
+
+double BenchReport::stage_total_s() const noexcept {
+  double total = 0.0;
+  for (const StageTime& s : stages_) total += s.seconds;
+  return total;
+}
+
+void BenchReport::write_json(std::ostream& out) const {
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", kBenchReportSchema);
+  w.field("name", name_);
+  w.field("repeats", repeats_);
+
+  w.key("config").begin_object();
+  for (const auto& [k, v] : config_) w.field(k, v);
+  w.end_object();
+
+  w.key("stages").begin_array();
+  for (const StageTime& s : stages_) {
+    w.begin_object().field("name", s.name).field("seconds", s.seconds).end_object();
+  }
+  w.end_array();
+
+  w.key("metrics").begin_object();
+  for (const auto& [k, v] : metrics_) w.field(k, v);
+  w.end_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [k, v] : counters_) w.field(k, v);
+  w.end_object();
+
+  w.end_object();
+  out << '\n';
+}
+
+bool BenchReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return out.good();
+}
+
+}  // namespace fastz::telemetry

@@ -1,0 +1,74 @@
+// Machine-readable benchmark reports ("BENCH_*.json").
+//
+// One BenchReport captures everything a perf-trajectory tool needs from a
+// bench run: the bench name, the configuration it ran under, how many
+// repeats were measured, named stage times (seconds), scalar result metrics
+// (speedups, wallclocks), and integer counters (typically a
+// MetricsRegistry snapshot). Schema (see docs/TELEMETRY.md):
+//
+//   {
+//     "schema":   "fastz.bench_report/v1",
+//     "name":     "fig8_breakdown",
+//     "repeats":  3,
+//     "config":   {"scale": "0.03", ...},          // strings, flag-like
+//     "stages":   [{"name": "...", "seconds": 1.2}, ...],
+//     "metrics":  {"wallclock_min_s": 1.0, ...},   // doubles
+//     "counters": {"fastz.seeds": 12000, ...}      // integers
+//   }
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace fastz::telemetry {
+
+inline constexpr std::string_view kBenchReportSchema = "fastz.bench_report/v1";
+
+struct StageTime {
+  std::string name;
+  double seconds = 0.0;
+};
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  void set_repeats(int repeats) noexcept { repeats_ = repeats; }
+  int repeats() const noexcept { return repeats_; }
+
+  void add_config(std::string key, std::string value);
+  void add_stage(std::string name, double seconds);
+  void add_metric(std::string name, double value);
+  void add_counter(std::string name, std::uint64_t value);
+  // Appends every counter currently in `registry` (zero-valued ones are
+  // skipped — an instrument that never fired is noise in a report).
+  void add_registry_counters(const MetricsRegistry& registry);
+
+  const std::vector<StageTime>& stages() const noexcept { return stages_; }
+  const std::vector<std::pair<std::string, double>>& metrics() const noexcept {
+    return metrics_;
+  }
+  double stage_total_s() const noexcept;
+
+  void write_json(std::ostream& out) const;
+  // Returns false when the file cannot be opened/written.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::string name_;
+  int repeats_ = 1;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<StageTime> stages_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::uint64_t>> counters_;
+};
+
+}  // namespace fastz::telemetry

@@ -1,0 +1,54 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <fstream>
+
+#include "telemetry/json.hpp"
+
+namespace fastz::telemetry {
+
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events,
+                        std::string_view process_name) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Process-name metadata event, so the timeline is labeled.
+  w.begin_object();
+  w.field("name", "process_name");
+  w.field("ph", "M");
+  w.field("pid", 1);
+  w.field("tid", 0);
+  w.key("args").begin_object().field("name", process_name).end_object();
+  w.end_object();
+
+  for (const TraceEvent& e : events) {
+    w.begin_object();
+    w.field("name", e.name);
+    w.field("cat", e.category);
+    w.field("ph", "X");
+    w.field("ts", e.ts_us);
+    w.field("dur", e.dur_us);
+    w.field("pid", 1);
+    w.field("tid", static_cast<std::uint64_t>(e.tid));
+    w.end_object();
+  }
+
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.end_object();
+  out << '\n';
+}
+
+void write_chrome_trace(std::ostream& out) {
+  write_chrome_trace(out, TraceRecorder::global().snapshot());
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return out.good();
+}
+
+}  // namespace fastz::telemetry

@@ -1,0 +1,30 @@
+// Chrome trace-event exporter.
+//
+// Serializes a TraceRecorder snapshot into the Trace Event Format JSON that
+// chrome://tracing and https://ui.perfetto.dev load directly. Every span is
+// a complete ("ph":"X") event on its recording thread's lane; timestamps
+// and durations are microseconds, as the format requires.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace fastz::telemetry {
+
+// Writes `{"traceEvents": [...], "displayTimeUnit": "ms"}` for the given
+// events.
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events,
+                        std::string_view process_name = "fastz");
+
+// Snapshot of the global recorder, serialized. Convenience for benches.
+void write_chrome_trace(std::ostream& out);
+
+// Writes the global recorder's snapshot to `path`; returns false (and
+// leaves no partial file guarantee) when the file cannot be opened.
+bool write_chrome_trace_file(const std::string& path);
+
+}  // namespace fastz::telemetry

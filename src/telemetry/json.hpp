@@ -1,0 +1,106 @@
+// Minimal JSON support for the telemetry exporters and their tests.
+//
+// `JsonWriter` streams compact, correctly-escaped JSON to an ostream with
+// automatic comma management. `JsonValue::parse` is a strict
+// recursive-descent parser covering the full grammar (objects, arrays,
+// strings with \uXXXX escapes incl. surrogate pairs, numbers, literals);
+// the test suite uses it to round-trip generated Chrome traces and
+// BenchReports. No external dependency, by design — the container images
+// ship no JSON library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fastz::telemetry {
+
+std::string json_escape(std::string_view raw);
+
+// Streaming writer. Call sequence is the caller's responsibility (keys only
+// inside objects, balanced begin/end); commas and colons are inserted
+// automatically. Non-finite doubles are emitted as null.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+ private:
+  void element_prefix();
+
+  std::ostream& out_;
+  // One entry per open container: true until its first element is written.
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+// Parsed JSON document. Objects preserve insertion order.
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::Null; }
+  bool is_object() const noexcept { return type_ == Type::Object; }
+  bool is_array() const noexcept { return type_ == Type::Array; }
+  bool is_string() const noexcept { return type_ == Type::String; }
+  bool is_number() const noexcept { return type_ == Type::Number; }
+  bool is_bool() const noexcept { return type_ == Type::Bool; }
+
+  // Typed accessors throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  // find() that throws on absence.
+  const JsonValue& at(std::string_view key) const;
+
+  // Strict parse of a complete document; throws std::runtime_error with a
+  // byte offset on malformed input or trailing garbage.
+  static JsonValue parse(std::string_view text);
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+
+  friend class JsonParser;
+};
+
+}  // namespace fastz::telemetry

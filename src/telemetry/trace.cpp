@@ -1,0 +1,95 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+
+namespace fastz::telemetry {
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceRecorder::now_us() const noexcept {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   epoch_)
+      .count();
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  // One slot per (thread, recorder is a singleton) pair. The shared_ptr copy
+  // in the thread_local keeps the buffer usable even if it outlives the
+  // recorder's own vector entry (it never does — the recorder is static —
+  // but this keeps the ownership story simple).
+  thread_local std::shared_ptr<ThreadBuffer> tls;
+  thread_local TraceRecorder* tls_owner = nullptr;
+  if (tls == nullptr || tls_owner != this) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    {
+      std::lock_guard lock(registry_mutex_);
+      buffer->tid = next_tid_++;
+      buffers_.push_back(buffer);
+    }
+    tls = std::move(buffer);
+    tls_owner = this;
+  }
+  return *tls;
+}
+
+void TraceRecorder::record(std::string name, std::string category, double ts_us,
+                           double dur_us) {
+  ThreadBuffer& buffer = local_buffer();
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = buffer.tid;
+  std::lock_guard lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> merged;
+  for (const auto& buffer : buffers) {
+    std::lock_guard lock(buffer->mutex);
+    merged.insert(merged.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+  return merged;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  std::size_t n = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard lock(buffer->mutex);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+void TraceRecorder::clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+}  // namespace fastz::telemetry

@@ -1,0 +1,110 @@
+// Scoped tracing with per-thread event buffers.
+//
+// A `TraceSpan` brackets a region of code; on destruction it appends one
+// complete event (begin timestamp + duration) to the calling thread's
+// buffer. Buffers are thread-local, so recording never contends across
+// threads — each buffer carries a mutex that is uncontended on the append
+// path and is only fought over during an export snapshot ("lock-free-ish").
+// Threads are assigned small sequential ids at first record, which become
+// the `tid` lanes of the Chrome trace timeline.
+//
+// Everything is gated on `telemetry::enabled()`: a span constructed while
+// telemetry is off costs one relaxed atomic load and holds no state.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace fastz::telemetry {
+
+// One completed span. Timestamps are microseconds since the recorder epoch.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  // Appends to the calling thread's buffer (registering it on first use).
+  void record(std::string name, std::string category, double ts_us, double dur_us);
+
+  // Microseconds since this recorder's epoch (monotonic clock).
+  double now_us() const noexcept;
+
+  // Merged copy of every thread's events, ordered by begin timestamp.
+  std::vector<TraceEvent> snapshot() const;
+
+  std::size_t event_count() const;
+
+  // Drops all recorded events (buffers stay registered).
+  void clear();
+
+  // Process-wide recorder used by TraceSpan and the built-in
+  // instrumentation.
+  static TraceRecorder& global();
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+  };
+
+  ThreadBuffer& local_buffer();
+
+  mutable std::mutex registry_mutex_;
+  // shared_ptr keeps buffers alive in the recorder after their thread exits.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_tid_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// RAII span recording into the global recorder. Name/category must outlive
+// the span; string literals are the intended use. For dynamically-named
+// regions, pass the string by value via the std::string overload.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "fastz") noexcept
+      : name_(nullptr), category_(category) {
+    if (!enabled()) return;
+    name_ = name;
+    start_us_ = TraceRecorder::global().now_us();
+  }
+
+  TraceSpan(std::string name, const char* category) : name_(nullptr), category_(category) {
+    if (!enabled()) return;
+    dynamic_name_ = std::move(name);
+    name_ = dynamic_name_.c_str();
+    start_us_ = TraceRecorder::global().now_us();
+  }
+
+  ~TraceSpan() {
+    if (name_ == nullptr) return;
+    TraceRecorder& rec = TraceRecorder::global();
+    rec.record(name_, category_, start_us_, rec.now_us() - start_us_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const noexcept { return name_ != nullptr; }
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::string dynamic_name_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace fastz::telemetry

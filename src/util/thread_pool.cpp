@@ -1,6 +1,9 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
+
+#include "telemetry/trace.hpp"
 
 namespace fastz {
 
@@ -14,13 +17,21 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
+    if (stopping_ && workers_.empty()) return;  // already shut down
     stopping_ = true;
   }
+  // Every worker must observe stopping_: notify_one could wake a single
+  // worker and leave the rest parked forever.
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
 }
 
 void ThreadPool::worker_loop() {
@@ -48,10 +59,24 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     const std::size_t end = std::min(n, begin + per);
     if (begin >= end) break;
     futures.push_back(submit([begin, end, &fn] {
+      // One span per worker chunk: the per-tid lanes of the trace make
+      // multicore load imbalance directly visible.
+      telemetry::TraceSpan span("pool.chunk", "pool");
       for (std::size_t i = begin; i < end; ++i) fn(i);
     }));
   }
-  for (auto& f : futures) f.get();  // propagate exceptions
+  // Wait for *every* chunk before rethrowing: bailing on the first failure
+  // would destroy `fn` (and any state it captures) while other chunks still
+  // run, and would leave this barrier half-joined.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace fastz

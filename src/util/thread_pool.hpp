@@ -46,7 +46,16 @@ class ThreadPool {
   // Run fn(i) for i in [0, n) across the pool and wait for completion.
   // Work is divided into contiguous chunks, one per worker, mirroring the
   // static seed-partitioning of the multicore LASTZ baseline.
+  //
+  // An exception thrown by any fn(i) is rethrown here (the first one, in
+  // chunk order) — but only after every chunk has finished, so the barrier
+  // never abandons tasks that still reference `fn`.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Stops accepting work, drains the queue, and joins the workers. Safe to
+  // call more than once; subsequent submit() calls throw. The destructor
+  // calls this implicitly.
+  void shutdown();
 
  private:
   void worker_loop();

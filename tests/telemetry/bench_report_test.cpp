@@ -1,0 +1,117 @@
+#include "telemetry/bench_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "report/experiment.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace fastz::telemetry {
+namespace {
+
+TEST(BenchReport, SerializesSchemaFields) {
+  BenchReport report("unit_test");
+  report.set_repeats(5);
+  report.add_config("scale", "0.01");
+  report.add_stage("phase_a", 1.5);
+  report.add_stage("phase_b", 0.25);
+  report.add_metric("speedup", 42.5);
+  report.add_counter("cells", 1234567);
+
+  std::ostringstream out;
+  report.write_json(out);
+  const JsonValue doc = JsonValue::parse(out.str());
+
+  EXPECT_EQ(doc.at("schema").as_string(), kBenchReportSchema);
+  EXPECT_EQ(doc.at("name").as_string(), "unit_test");
+  EXPECT_DOUBLE_EQ(doc.at("repeats").as_number(), 5.0);
+  EXPECT_EQ(doc.at("config").at("scale").as_string(), "0.01");
+
+  const auto& stages = doc.at("stages").as_array();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].at("name").as_string(), "phase_a");
+  EXPECT_DOUBLE_EQ(stages[0].at("seconds").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(stages[1].at("seconds").as_number(), 0.25);
+
+  EXPECT_DOUBLE_EQ(doc.at("metrics").at("speedup").as_number(), 42.5);
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("cells").as_number(), 1234567.0);
+  EXPECT_DOUBLE_EQ(report.stage_total_s(), 1.75);
+}
+
+TEST(BenchReport, RegistryCountersSkipZeroValues) {
+  MetricsRegistry reg;
+  reg.counter("fired").add(7);
+  reg.counter("never_fired");
+  BenchReport report("counters");
+  report.add_registry_counters(reg);
+
+  std::ostringstream out;
+  report.write_json(out);
+  const JsonValue doc = JsonValue::parse(out.str());
+  EXPECT_NE(doc.at("counters").find("fired"), nullptr);
+  EXPECT_EQ(doc.at("counters").find("never_fired"), nullptr);
+}
+
+TEST(BenchReport, WriteFileRoundTrips) {
+  BenchReport report("file_test");
+  report.add_metric("value", 3.0);
+  const std::string path = ::testing::TempDir() + "fastz_bench_report_test.json";
+  ASSERT_TRUE(report.write_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(buffer.str());
+  EXPECT_EQ(doc.at("name").as_string(), "file_test");
+  std::remove(path.c_str());
+}
+
+// The Figure 8 export contract: each benchmark's inspector/executor/other
+// stage times must sum to its reported modeled total within 1%. This is the
+// same builder bench_fig8_breakdown persists to BENCH_fig8.json.
+TEST(BenchReport, Fig8StageTimesSumToModeledTotal) {
+  HarnessOptions options;
+  options.scale = 0.006;
+  options.max_seeds = 1500;
+  options.verbose = false;
+  auto pairs = same_genus_pairs(options.scale);
+  pairs.resize(1);
+  const std::vector<PreparedPair> prepared =
+      prepare_pairs(pairs, harness_score_params(options), options);
+
+  const BenchReport report =
+      breakdown_report(prepared, FastzConfig::full(), gpusim::rtx3080_ampere());
+
+  ASSERT_EQ(report.stages().size(), 3u);  // inspector, executor, other
+  const std::string& label = prepared[0].spec.label;
+  double stage_sum = 0.0;
+  for (const StageTime& s : report.stages()) {
+    EXPECT_EQ(s.name.rfind(label + ".", 0), 0u) << s.name;
+    EXPECT_GT(s.seconds, 0.0);
+    stage_sum += s.seconds;
+  }
+  ASSERT_EQ(report.metrics().size(), 1u);
+  EXPECT_EQ(report.metrics()[0].first, label + ".total_s");
+  const double total = report.metrics()[0].second;
+  ASSERT_GT(total, 0.0);
+  EXPECT_LE(std::abs(stage_sum - total) / total, 0.01);
+
+  // And the persisted JSON carries the same numbers.
+  std::ostringstream out;
+  report.write_json(out);
+  const JsonValue doc = JsonValue::parse(out.str());
+  double json_sum = 0.0;
+  for (const JsonValue& s : doc.at("stages").as_array()) {
+    json_sum += s.at("seconds").as_number();
+  }
+  const double json_total = doc.at("metrics").at(label + ".total_s").as_number();
+  EXPECT_LE(std::abs(json_sum - json_total) / json_total, 0.01);
+}
+
+}  // namespace
+}  // namespace fastz::telemetry

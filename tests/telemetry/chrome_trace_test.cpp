@@ -1,0 +1,140 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fastz/fastz_pipeline.hpp"
+#include "sequence/genome_synth.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace fastz::telemetry {
+namespace {
+
+class ChromeTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    TraceRecorder::global().clear();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    TraceRecorder::global().clear();
+  }
+};
+
+// Every chrome-trace assertion the suite needs: top-level shape, event
+// fields, phase kinds.
+void check_trace_document(const JsonValue& doc, std::size_t min_span_events) {
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  std::size_t spans = 0;
+  for (const JsonValue& e : events.as_array()) {
+    ASSERT_TRUE(e.is_object());
+    const std::string& ph = e.at("ph").as_string();
+    ASSERT_TRUE(ph == "X" || ph == "M") << "unexpected phase " << ph;
+    EXPECT_FALSE(e.at("name").as_string().empty());
+    if (ph == "X") {
+      ++spans;
+      EXPECT_GE(e.at("ts").as_number(), 0.0);
+      EXPECT_GE(e.at("dur").as_number(), 0.0);
+      EXPECT_GE(e.at("tid").as_number(), 0.0);
+    }
+  }
+  EXPECT_GE(spans, min_span_events);
+}
+
+TEST_F(ChromeTraceTest, EmptyRecorderStillWellFormed) {
+  std::ostringstream out;
+  write_chrome_trace(out);
+  const JsonValue doc = JsonValue::parse(out.str());
+  check_trace_document(doc, 0);
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+}
+
+TEST_F(ChromeTraceTest, SpansRoundTripThroughParser) {
+  {
+    ScopedEnable on;
+    TraceSpan outer("outer");
+    TraceSpan inner("name needing \"escapes\"\n", "cat");
+  }
+  std::ostringstream out;
+  write_chrome_trace(out);
+  const JsonValue doc = JsonValue::parse(out.str());
+  check_trace_document(doc, 2);
+
+  bool found_escaped = false;
+  for (const JsonValue& e : doc.at("traceEvents").as_array()) {
+    if (e.at("name").as_string() == "name needing \"escapes\"\n") found_escaped = true;
+  }
+  EXPECT_TRUE(found_escaped);
+}
+
+TEST_F(ChromeTraceTest, InstrumentedPipelineProducesParsableTimeline) {
+  // End-to-end: run the real (small) FastZ functional pass + derive with
+  // telemetry on, export, parse back.
+  PairModel model;
+  model.length_a = 20000;
+  model.segments = {{5.0, 150, 400, 0.9}};
+  const SyntheticPair pair = generate_pair(model, 11);
+  ScoreParams params = lastz_default_params();
+  params.ydrop = 1500;
+
+  {
+    ScopedEnable on;
+    const FastzStudy study(pair.a, pair.b, params);
+    (void)study.derive(FastzConfig::full(), gpusim::rtx3080_ampere());
+  }
+
+  std::ostringstream out;
+  write_chrome_trace(out);
+  const JsonValue doc = JsonValue::parse(out.str());
+  check_trace_document(doc, 3);
+
+  // The pipeline's stage spans must be present by name.
+  bool saw_pass = false, saw_seeding = false, saw_derive = false;
+  for (const JsonValue& e : doc.at("traceEvents").as_array()) {
+    const std::string& name = e.at("name").as_string();
+    saw_pass |= name == "fastz.functional_pass";
+    saw_seeding |= name == "fastz.seeding";
+    saw_derive |= name == "fastz.derive";
+  }
+  EXPECT_TRUE(saw_pass);
+  EXPECT_TRUE(saw_seeding);
+  EXPECT_TRUE(saw_derive);
+}
+
+TEST_F(ChromeTraceTest, FileExportRoundTrips) {
+  {
+    ScopedEnable on;
+    TraceSpan span("file-span");
+  }
+  const std::string path = ::testing::TempDir() + "fastz_trace_test.json";
+  ASSERT_TRUE(write_chrome_trace_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(buffer.str());
+  check_trace_document(doc, 1);
+  std::remove(path.c_str());
+}
+
+TEST_F(ChromeTraceTest, DisabledPipelineEmitsNoSpans) {
+  ASSERT_FALSE(enabled());
+  PairModel model;
+  model.length_a = 10000;
+  const SyntheticPair pair = generate_pair(model, 12);
+  ScoreParams params = lastz_default_params();
+  params.ydrop = 1500;
+  const FastzStudy study(pair.a, pair.b, params);
+  (void)study.derive(FastzConfig::full(), gpusim::rtx3080_ampere());
+  EXPECT_EQ(TraceRecorder::global().event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace fastz::telemetry

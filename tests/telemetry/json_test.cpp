@@ -1,0 +1,112 @@
+#include "telemetry/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fastz::telemetry {
+namespace {
+
+TEST(JsonEscape, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, WritesNestedStructures) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("name", "fastz");
+  w.field("count", std::uint64_t{42});
+  w.field("ratio", 0.5);
+  w.field("ok", true);
+  w.key("list").begin_array().value(std::uint64_t{1}).value(std::uint64_t{2}).end_array();
+  w.key("nested").begin_object().field("x", std::int64_t{-3}).end_object();
+  w.key("none").null();
+  w.end_object();
+  EXPECT_EQ(out.str(),
+            "{\"name\":\"fastz\",\"count\":42,\"ratio\":0.5,\"ok\":true,"
+            "\"list\":[1,2],\"nested\":{\"x\":-3},\"none\":null}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(out.str(), "[null,null]");
+}
+
+TEST(JsonValue, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-17").as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("6.02e23").as_number(), 6.02e23);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonValue, ParsesContainersAndLookup) {
+  const JsonValue v = JsonValue::parse(R"({"a": [1, 2, {"b": "c"}], "d": {}})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue& a = v.at("a");
+  ASSERT_TRUE(a.is_array());
+  ASSERT_EQ(a.as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a.as_array()[0].as_number(), 1.0);
+  EXPECT_EQ(a.as_array()[2].at("b").as_string(), "c");
+  EXPECT_TRUE(v.at("d").as_object().empty());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), std::runtime_error);
+}
+
+TEST(JsonValue, DecodesStringEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"\\\/\b\f\n\r\tb")").as_string(),
+            "a\"\\/\b\f\n\r\tb");
+  EXPECT_EQ(JsonValue::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(JsonValue::parse(R"("é")").as_string(), "\xC3\xA9");      // é
+  EXPECT_EQ(JsonValue::parse(R"("世")").as_string(), "\xE4\xB8\x96");  // 世
+  EXPECT_EQ(JsonValue::parse(R"("😀")").as_string(),
+            "\xF0\x9F\x98\x80");  // emoji via surrogate pair
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("nul"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("01"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("1 2"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse(R"("\ud83d")"), std::runtime_error);  // lone surrogate
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  const JsonValue v = JsonValue::parse("[1]");
+  EXPECT_THROW(v.as_object(), std::runtime_error);
+  EXPECT_THROW(v.as_string(), std::runtime_error);
+  EXPECT_THROW(v.as_number(), std::runtime_error);
+}
+
+TEST(JsonRoundTrip, WriterOutputParsesBack) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("text", "line1\nline2\t\"quoted\"");
+  w.field("big", std::uint64_t{1234567890123456789ull});
+  w.field("neg", -0.0078125);
+  w.end_object();
+  const JsonValue v = JsonValue::parse(out.str());
+  EXPECT_EQ(v.at("text").as_string(), "line1\nline2\t\"quoted\"");
+  EXPECT_DOUBLE_EQ(v.at("big").as_number(), 1234567890123456789.0);
+  EXPECT_DOUBLE_EQ(v.at("neg").as_number(), -0.0078125);
+}
+
+}  // namespace
+}  // namespace fastz::telemetry

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <string>
+#include <thread>
 
 namespace fastz {
 namespace {
@@ -43,6 +46,68 @@ TEST(ThreadPool, PropagatesExceptions) {
         if (i == 5) throw std::runtime_error("boom");
       }),
       std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  // shutdown() is idempotent; a second call (and the destructor after it)
+  // must be harmless.
+  pool.shutdown();
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1);
+      });
+    }
+    pool.shutdown();  // must wait for every queued task, not just running ones
+    EXPECT_EQ(done.load(), 16);
+  }
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, ExceptionInOneChunkDoesNotDeadlockTheBarrier) {
+  ThreadPool pool(4);
+  // Every chunk throws: the barrier must still join all of them and rethrow
+  // exactly one exception instead of deadlocking or tearing down `fn` while
+  // chunks still run.
+  std::atomic<int> entered{0};
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [&](std::size_t) {
+                                   entered.fetch_add(1);
+                                   throw std::runtime_error("chunk failure");
+                                 }),
+               std::runtime_error);
+  // One failure per chunk (first index of each), so between 1 and pool-size
+  // entries ran.
+  EXPECT_GE(entered.load(), 1);
+  EXPECT_LE(entered.load(), 4);
+
+  // The pool remains fully usable after the failed barrier.
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ExceptionRethrownIsFromEarliestChunk) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(4, [](std::size_t i) {
+      throw std::runtime_error("chunk " + std::to_string(i));
+    });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "chunk 0");
+  }
 }
 
 TEST(ThreadPool, SumIsDeterministic) {

@@ -1,0 +1,54 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace fastz {
+namespace {
+
+TEST(Timer, ElapsedIsNonNegativeAndMonotonic) {
+  Timer timer;
+  const double first = timer.elapsed_s();
+  EXPECT_GE(first, 0.0);
+  const double second = timer.elapsed_s();
+  EXPECT_GE(second, first);
+}
+
+TEST(Timer, MeasuresSleepsAtLeastApproximately) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // steady_clock can't run fast; only the lower bound is exact.
+  EXPECT_GE(timer.elapsed_ms(), 20.0 * 0.9);
+}
+
+TEST(Timer, ResetRestartsTheEpoch) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  const double before_reset = timer.elapsed_s();
+  timer.reset();
+  const double after_reset = timer.elapsed_s();
+  EXPECT_LT(after_reset, before_reset);
+}
+
+TEST(Timer, UnitScalingIsConsistent) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Sample each unit; they are separate clock reads, so only check the
+  // ordering/scale relation loosely: us >= ms*1e3 >= s*1e6 ordering holds
+  // because later reads see equal-or-larger elapsed time.
+  const double s = timer.elapsed_s();
+  const double ms = timer.elapsed_ms();
+  const double us = timer.elapsed_us();
+  EXPECT_GE(ms, s * 1e3);
+  EXPECT_GE(us, ms * 1e3);
+  EXPECT_GT(us, 0.0);
+  // A single-read cross check: the three units describe the same instant
+  // within the slack of the interleaving reads (generous bound).
+  EXPECT_NEAR(ms / 1e3, s, 0.5);
+  EXPECT_NEAR(us / 1e6, s, 0.5);
+}
+
+}  // namespace
+}  // namespace fastz
