@@ -1,0 +1,237 @@
+#include "testing/corpus.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "sequence/genome_synth.hpp"
+#include "util/prng.hpp"
+
+namespace fastz::testing {
+
+namespace {
+
+// Scoring parameterizations for the exact-oracle kinds. The y-drop is left
+// effectively unbounded so the pruned implementations must equal the
+// full-matrix reference cell-for-cell (the equivalence theorem only holds
+// when pruning removes nothing).
+ScoreParams oracle_params(Xoshiro256& rng) {
+  ScoreParams p;
+  if (rng.chance(0.5)) {
+    p.subst = kUnitMatrix;
+    const Score opens[] = {-3, -5, -10};
+    const Score extends[] = {-1, -2};
+    p.gap_open = opens[rng.below(3)];
+    p.gap_extend = extends[rng.below(2)];
+  } else {
+    p.subst = kHoxd70;
+    const Score opens[] = {-400, -600, -100};
+    const Score extends[] = {-30, -60, -10};
+    p.gap_open = opens[rng.below(3)];
+    p.gap_extend = extends[rng.below(3)];
+  }
+  p.ydrop = 1 << 28;
+  p.gapped_threshold = 0;
+  p.ungapped_threshold = 0;
+  return p;
+}
+
+Sequence repeat_motif(std::string name, std::size_t length, std::size_t motif_len,
+                      Xoshiro256& rng) {
+  std::vector<BaseCode> motif(motif_len);
+  for (auto& base : motif) base = static_cast<BaseCode>(rng.below(4));
+  std::vector<BaseCode> codes(length);
+  for (std::size_t k = 0; k < length; ++k) codes[k] = motif[k % motif_len];
+  return Sequence(std::move(name), std::move(codes));
+}
+
+Sequence mutated_copy(const Sequence& src, double identity, double indel_rate,
+                      Xoshiro256& rng) {
+  MutationChannel channel;
+  channel.indel_rate = indel_rate;
+  return Sequence("b", mutate_segment(src.codes(), identity, channel, rng));
+}
+
+void fill_one_sided_random(FuzzCase& c, Xoshiro256& rng) {
+  c.a = random_sequence("a", 1 + rng.below(96), rng);
+  c.b = random_sequence("b", 1 + rng.below(96), rng);
+  c.params = oracle_params(rng);
+}
+
+void fill_one_sided_related(FuzzCase& c, Xoshiro256& rng) {
+  const double identities[] = {0.95, 0.9, 0.8, 0.7, 0.6};
+  const double indels[] = {0.0, 0.002, 0.01, 0.05};
+  c.a = random_sequence("a", 16 + rng.below(145), rng);
+  c.b = mutated_copy(c.a, identities[rng.below(5)], indels[rng.below(4)], rng);
+  c.params = oracle_params(rng);
+}
+
+void fill_homopolymer(FuzzCase& c, Xoshiro256& rng) {
+  const std::size_t len = 8 + rng.below(113);
+  const auto base = static_cast<BaseCode>(rng.below(4));
+  std::vector<BaseCode> codes(len, base);
+  c.a = Sequence("a", std::move(codes));
+  c.b = mutated_copy(c.a, 0.85 + 0.1 * rng.uniform(), 0.05, rng);
+  c.params = oracle_params(rng);
+}
+
+void fill_low_complexity(FuzzCase& c, Xoshiro256& rng) {
+  const std::size_t motif_len = 1 + rng.below(4);
+  const std::size_t len = 12 + rng.below(109);
+  c.a = repeat_motif("a", len, motif_len, rng);
+  // A phase-shifted window of the same repeat forces gap-placement ties.
+  const std::size_t shift = rng.below(motif_len + 2);
+  const std::size_t b_len = std::min(len - shift, 12 + rng.below(109));
+  Sequence window = c.a.subsequence(shift, b_len, "b");
+  c.b = mutated_copy(window, 0.9, 0.02, rng);
+  c.params = oracle_params(rng);
+}
+
+void fill_bin_boundary(FuzzCase& c, Xoshiro256& rng) {
+  // Homology length exactly at / straddling an executor bin edge. The full
+  // reference is quadratic, so these run the pruned implementations only
+  // (internal-consistency + superset invariants, see differ.cpp).
+  const std::uint32_t edges[] = {512, 2048, 8192, 32768};
+  const std::uint32_t edge = edges[rng.below(4)];
+  const std::int64_t delta = static_cast<std::int64_t>(rng.below(3)) - 1;  // -1, 0, +1
+  const auto len = static_cast<std::size_t>(edge + delta);
+  c.a = random_sequence("a", len, rng);
+  c.b = mutated_copy(c.a, 0.9, 0.005, rng);
+  c.params = lastz_default_params();
+  c.params.ydrop = 1500 + static_cast<Score>(rng.below(2)) * 1500;
+}
+
+void fill_degenerate(FuzzCase& c, Xoshiro256& rng) {
+  switch (rng.below(5)) {
+    case 0:  // both empty
+      break;
+    case 1:  // one side empty
+      if (rng.chance(0.5)) {
+        c.a = random_sequence("a", 1 + rng.below(40), rng);
+      } else {
+        c.b = random_sequence("b", 1 + rng.below(40), rng);
+      }
+      break;
+    case 2:  // single bases
+      c.a = random_sequence("a", 1, rng);
+      c.b = random_sequence("b", 1, rng);
+      break;
+    case 3:  // identical pair shorter than the 19 bp seed span: zero seeds
+      c.a = random_sequence("a", 4 + rng.below(14), rng);
+      c.b = Sequence("b", {c.a.codes().begin(), c.a.codes().end()});
+      break;
+    default:  // exactly one seed window's worth of identical sequence
+      c.a = random_sequence("a", 19, rng);
+      c.b = Sequence("b", {c.a.codes().begin(), c.a.codes().end()});
+      break;
+  }
+  c.params = oracle_params(rng);
+}
+
+void fill_pipeline_exact(FuzzCase& c, Xoshiro256& rng) {
+  // Small enough that the unbounded y-drop (full-matrix search per seed)
+  // stays cheap; identity high enough that the 12-of-19 spaced seed fires.
+  c.a = random_sequence("a", 150 + rng.below(151), rng);
+  c.b = mutated_copy(c.a, 0.88 + 0.1 * rng.uniform(), 0.005, rng);
+  c.params = lastz_default_params();
+  c.params.ydrop = 1 << 28;
+  c.params.gapped_threshold = 0;
+  c.pipeline.max_seeds = 48;
+  c.pipeline.sample_seed = rng();
+}
+
+void fill_pipeline(FuzzCase& c, Xoshiro256& rng) {
+  PairModel model;
+  model.length_a = 2000 + rng.below(5001);
+  model.segments = {{80.0 + 60.0 * rng.uniform(), 100 + rng.below(200),
+                     300 + rng.below(400), 0.85 + 0.1 * rng.uniform()}};
+  if (rng.chance(0.4)) {
+    model.segments.push_back({20.0, 500, 1000, 0.87});
+  }
+  SyntheticPair pair = generate_pair(model, rng());
+  c.a = std::move(pair.a);
+  c.b = std::move(pair.b);
+  c.params = lastz_default_params();
+  c.params.ydrop = 1500 + static_cast<Score>(rng.below(3)) * 750;
+  c.pipeline.max_seeds = 600;
+  c.pipeline.sample_seed = rng();
+}
+
+}  // namespace
+
+const char* case_kind_name(CaseKind kind) noexcept {
+  switch (kind) {
+    case CaseKind::kOneSidedRandom: return "one-sided-random";
+    case CaseKind::kOneSidedRelated: return "one-sided-related";
+    case CaseKind::kHomopolymer: return "homopolymer";
+    case CaseKind::kLowComplexity: return "low-complexity";
+    case CaseKind::kBinBoundary: return "bin-boundary";
+    case CaseKind::kDegenerate: return "degenerate";
+    case CaseKind::kPipelineExact: return "pipeline-exact";
+    case CaseKind::kPipeline: return "pipeline";
+  }
+  return "unknown";
+}
+
+FuzzCase make_case_of_kind(std::uint64_t seed, CaseKind kind) {
+  FuzzCase c;
+  c.seed = seed;
+  c.kind = kind;
+  // Decorrelate the stream from the kind choice in make_case so a forced
+  // kind sees the same inputs the weighted path would have generated.
+  Xoshiro256 rng(SplitMix64(seed ^ 0xd1f7e2a5c3b8964full).next());
+  switch (kind) {
+    case CaseKind::kOneSidedRandom: fill_one_sided_random(c, rng); break;
+    case CaseKind::kOneSidedRelated: fill_one_sided_related(c, rng); break;
+    case CaseKind::kHomopolymer: fill_homopolymer(c, rng); break;
+    case CaseKind::kLowComplexity: fill_low_complexity(c, rng); break;
+    case CaseKind::kBinBoundary: fill_bin_boundary(c, rng); break;
+    case CaseKind::kDegenerate: fill_degenerate(c, rng); break;
+    case CaseKind::kPipelineExact: fill_pipeline_exact(c, rng); break;
+    case CaseKind::kPipeline: fill_pipeline(c, rng); break;
+  }
+  c.params.validate();
+  return c;
+}
+
+FuzzCase make_case(std::uint64_t seed) {
+  // Weighted kind choice: the exact-oracle kinds dominate (strongest
+  // check per unit time), pipeline kinds are fewer (each runs three full
+  // pipelines), boundary/degenerate round out the edges.
+  const std::uint64_t pick = SplitMix64(seed).next() % 100;
+  CaseKind kind;
+  if (pick < 18) {
+    kind = CaseKind::kOneSidedRandom;
+  } else if (pick < 48) {
+    kind = CaseKind::kOneSidedRelated;
+  } else if (pick < 58) {
+    kind = CaseKind::kHomopolymer;
+  } else if (pick < 68) {
+    kind = CaseKind::kLowComplexity;
+  } else if (pick < 74) {
+    kind = CaseKind::kBinBoundary;
+  } else if (pick < 80) {
+    kind = CaseKind::kDegenerate;
+  } else if (pick < 90) {
+    kind = CaseKind::kPipelineExact;
+  } else {
+    kind = CaseKind::kPipeline;
+  }
+  return make_case_of_kind(seed, kind);
+}
+
+std::string replay_command(std::uint64_t seed) {
+  return "fastz_fuzz --replay seed=" + std::to_string(seed);
+}
+
+std::uint64_t parse_replay(std::string_view spec) {
+  if (spec.starts_with("seed=")) spec.remove_prefix(5);
+  std::uint64_t seed = 0;
+  const auto [ptr, ec] = std::from_chars(spec.data(), spec.data() + spec.size(), seed);
+  if (ec != std::errc{} || ptr != spec.data() + spec.size() || spec.empty()) {
+    throw std::invalid_argument("parse_replay: expected 'seed=N' or 'N', got '" +
+                                std::string(spec) + "'");
+  }
+  return seed;
+}
+
+}  // namespace fastz::testing

@@ -1,0 +1,67 @@
+// Deterministic fuzz-case corpus for differential testing.
+//
+// Every case is a pure function of a single 64-bit seed: the seed picks a
+// case kind (weighted toward the checks with the strongest oracles), the
+// sequence pair, and the scoring parameterization. Reproducing any failure
+// therefore needs only the seed — `fastz_fuzz --replay seed=N` regenerates
+// the exact inputs, re-runs the equivalence checks, and re-shrinks.
+//
+// Kinds cover the populations the FastZ paper's correctness argument rests
+// on: unrelated pairs (extensions die immediately — the eager class),
+// related pairs across identities and indel densities, homopolymer and
+// low-complexity repeats (maximal tie-break stress for the shared
+// best-cell rule), homology lengths straddling the 512/2048/8192/32768
+// executor bin edges, degenerate zero/one-length inputs, and whole-pipeline
+// chromosome pairs for the LASTZ / multicore / FastZ triplet.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "align/lastz_pipeline.hpp"
+#include "score/score_params.hpp"
+#include "sequence/sequence.hpp"
+
+namespace fastz::testing {
+
+enum class CaseKind : std::uint8_t {
+  kOneSidedRandom = 0,  // unrelated pair, exact oracle vs gotoh_reference
+  kOneSidedRelated,     // mutated pair, exact oracle vs gotoh_reference
+  kHomopolymer,         // single-base runs: dense score ties
+  kLowComplexity,       // short tandem repeats: ambiguous optimal paths
+  kBinBoundary,         // homology length at a bin edge +/- 1, pruned search
+  kDegenerate,          // zero/one-length inputs, sub-seed-span inputs
+  kPipelineExact,       // tiny pair, unbounded y-drop: all pipelines identical
+  kPipeline,            // chromosome pair, default pruning: LASTZ == multicore,
+                        // FastZ covers LASTZ
+};
+inline constexpr std::size_t kCaseKindCount = 8;
+
+const char* case_kind_name(CaseKind kind) noexcept;
+
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  CaseKind kind = CaseKind::kOneSidedRandom;
+  Sequence a;
+  Sequence b;
+  ScoreParams params;
+  PipelineOptions pipeline;  // used by the pipeline kinds
+};
+
+// Builds the case for `seed` (kind chosen by the seed's own hash).
+FuzzCase make_case(std::uint64_t seed);
+
+// Builds a case of a forced kind; the rest of the generation still derives
+// from `seed`. Used by targeted tests and by kind-coverage sweeps.
+FuzzCase make_case_of_kind(std::uint64_t seed, CaseKind kind);
+
+// One-line copy-pasteable repro: "fastz_fuzz --replay seed=N".
+std::string replay_command(std::uint64_t seed);
+inline std::string replay_command(const FuzzCase& c) { return replay_command(c.seed); }
+
+// Parses "seed=N" or a bare "N". Throws std::invalid_argument on anything
+// else (including trailing garbage) so typos never silently replay seed 0.
+std::uint64_t parse_replay(std::string_view spec);
+
+}  // namespace fastz::testing

@@ -1,0 +1,317 @@
+#include "testing/differ.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "align/gotoh_reference.hpp"
+#include "align/ydrop_align.hpp"
+#include "fastz/fastz_pipeline.hpp"
+#include "fastz/strip_kernel.hpp"
+#include "multicore/multicore_lastz.hpp"
+
+namespace fastz::testing {
+
+namespace {
+
+// Every message carries the replay command so no failure is ever reported
+// without its repro (the harness's no-silent-nondeterminism rule).
+std::string tag(const FuzzCase& c, const std::string& what) {
+  std::ostringstream os;
+  os << "[" << case_kind_name(c.kind) << " seed=" << c.seed << "] " << what
+     << " | repro: " << replay_command(c);
+  return os.str();
+}
+
+std::string cell_str(const BestCell& cell) {
+  std::ostringstream os;
+  os << "score=" << cell.score << " @(" << cell.i << "," << cell.j << ")";
+  return os.str();
+}
+
+std::string cigar_of(const std::vector<AlignOp>& ops) {
+  Alignment aln;
+  aln.ops = ops;
+  return aln.cigar();
+}
+
+ScoreParams subject_params(const FuzzCase& c, InjectedBug bug) {
+  ScoreParams p = c.params;
+  if (bug == InjectedBug::kGapExtend) p.gap_extend += 1;
+  return p;
+}
+
+// Applies the output-tampering bugs to a one-sided result.
+void tamper(OneSidedResult& r, InjectedBug bug) {
+  if (bug == InjectedBug::kDropOp && !r.ops.empty()) r.ops.pop_back();
+  if (bug == InjectedBug::kScoreOffByOne) r.best.score += 1;
+}
+
+void tamper(std::vector<Alignment>& alignments, InjectedBug bug) {
+  if (alignments.empty()) return;
+  if (bug == InjectedBug::kDropOp && !alignments.front().ops.empty()) {
+    alignments.front().ops.pop_back();
+  }
+  if (bug == InjectedBug::kScoreOffByOne) alignments.front().score += 1;
+}
+
+// Rescores `ops` as a (0,0)-anchored extension ending at (i, j); any walk
+// inconsistency is itself a divergence.
+void check_rescore(DiffResult& out, const FuzzCase& c, const char* who,
+                   const std::vector<AlignOp>& ops, std::uint32_t i, std::uint32_t j,
+                   Score claimed) {
+  Alignment aln;
+  aln.a_end = i;
+  aln.b_end = j;
+  aln.ops = ops;
+  try {
+    const Score rescored = rescore_alignment(aln, c.a, c.b, c.params);
+    out.expect(rescored == claimed,
+               tag(c, std::string(who) + ": traceback rescores to " +
+                          std::to_string(rescored) + ", claimed " +
+                          std::to_string(claimed) + " (cigar " + cigar_of(ops) + ")"));
+  } catch (const std::invalid_argument& e) {
+    out.expect(false, tag(c, std::string(who) + ": traceback walk invalid: " + e.what()));
+  }
+}
+
+// ---- Exact-oracle kinds: everything must equal the full-matrix reference.
+void diff_one_sided_exact(DiffResult& out, const FuzzCase& c, InjectedBug bug) {
+  const ReferenceResult ref = reference_extend(c.a.codes(), c.b.codes(), c.params);
+  const ScoreParams subj = subject_params(c, bug);
+
+  OneSidedResult seq = ydrop_one_sided_align(c.a.codes(), c.b.codes(), subj);
+  tamper(seq, bug);
+  out.expect(seq.best.score == ref.best.score && seq.best.i == ref.best.i &&
+                 seq.best.j == ref.best.j,
+             tag(c, "sequential y-drop best " + cell_str(seq.best) +
+                        " != reference " + cell_str(ref.best)));
+  out.expect(seq.ops == ref.ops,
+             tag(c, "sequential y-drop cigar " + cigar_of(seq.ops) +
+                        " != reference " + cigar_of(ref.ops)));
+  check_rescore(out, c, "sequential y-drop", seq.ops, seq.best.i, seq.best.j,
+                seq.best.score);
+
+  OneSidedOptions cons_opts;
+  cons_opts.prune = PruneMode::kConservative;
+  const OneSidedResult cons =
+      ydrop_one_sided_align(c.a.codes(), c.b.codes(), subj, cons_opts);
+  out.expect(cons.best.score == ref.best.score && cons.best.i == ref.best.i &&
+                 cons.best.j == ref.best.j,
+             tag(c, "conservative y-drop best " + cell_str(cons.best) +
+                        " != reference " + cell_str(ref.best)));
+  out.expect(cons.ops == ref.ops,
+             tag(c, "conservative y-drop cigar " + cigar_of(cons.ops) +
+                        " != reference " + cigar_of(ref.ops)));
+
+  if (c.a.size() <= kStripKernelMaxDim && c.b.size() <= kStripKernelMaxDim) {
+    const StripKernelResult strip =
+        strip_rectangle_dp(SeqView(c.a.codes().data(), 1, c.a.size()),
+                           SeqView(c.b.codes().data(), 1, c.b.size()), subj,
+                           /*want_traceback=*/true);
+    out.expect(strip.best.score == ref.best.score && strip.best.i == ref.best.i &&
+                   strip.best.j == ref.best.j,
+               tag(c, "strip kernel best " + cell_str(strip.best) + " != reference " +
+                          cell_str(ref.best)));
+    out.expect(strip.ops == ref.ops,
+               tag(c, "strip kernel cigar " + cigar_of(strip.ops) + " != reference " +
+                          cigar_of(ref.ops)));
+  }
+}
+
+// ---- Bin-boundary kind: pruned search, no quadratic reference. The
+// invariants are the paper's: conservative >= sequential, and the trimmed
+// executor re-run reproduces the inspector's optimum exactly.
+void diff_pruned(DiffResult& out, const FuzzCase& c, InjectedBug bug) {
+  const ScoreParams subj = subject_params(c, bug);
+
+  OneSidedResult seq = ydrop_one_sided_align(c.a.codes(), c.b.codes(), subj);
+  tamper(seq, bug);
+  check_rescore(out, c, "sequential y-drop", seq.ops, seq.best.i, seq.best.j,
+                seq.best.score);
+
+  OneSidedOptions cons_opts;
+  cons_opts.prune = PruneMode::kConservative;
+  cons_opts.want_traceback = false;
+  const OneSidedResult cons =
+      ydrop_one_sided_align(c.a.codes(), c.b.codes(), subj, cons_opts);
+  out.expect(cons.best.score >= seq.best.score,
+             tag(c, "conservative best " + cell_str(cons.best) +
+                        " below sequential " + cell_str(seq.best)));
+  out.expect(cons.cells >= seq.cells,
+             tag(c, "conservative explored " + std::to_string(cons.cells) +
+                        " cells < sequential " + std::to_string(seq.cells)));
+
+  // Trimmed-executor consistency (inspector optimum -> executor rectangle).
+  if (cons.best.i != 0 || cons.best.j != 0) {
+    OneSidedOptions trim;
+    trim.prune = PruneMode::kConservative;
+    trim.max_rows = cons.best.i;
+    trim.max_cols = cons.best.j;
+    trim.trace_from_fixed = true;
+    trim.trace_i = cons.best.i;
+    trim.trace_j = cons.best.j;
+    const OneSidedResult trimmed =
+        ydrop_one_sided_align(c.a.codes(), c.b.codes(), subj, trim);
+    out.expect(trimmed.best.score == cons.best.score && trimmed.best.i == cons.best.i &&
+                   trimmed.best.j == cons.best.j,
+               tag(c, "trimmed executor best " + cell_str(trimmed.best) +
+                          " != inspector optimum " + cell_str(cons.best)));
+    out.expect(trimmed.cells <= cons.cells,
+               tag(c, "trimmed executor explored " + std::to_string(trimmed.cells) +
+                          " cells > inspector search " + std::to_string(cons.cells)));
+    if (bug == InjectedBug::kNone) {
+      check_rescore(out, c, "trimmed executor", trimmed.ops, cons.best.i, cons.best.j,
+                    cons.best.score);
+    }
+  }
+}
+
+std::string aln_str(const Alignment& aln) {
+  std::ostringstream os;
+  os << "[" << aln.a_begin << "," << aln.a_end << ")x[" << aln.b_begin << ","
+     << aln.b_end << ") score=" << aln.score << " cigar=" << aln.cigar();
+  return os.str();
+}
+
+bool same_alignment(const Alignment& x, const Alignment& y) {
+  return x.a_begin == y.a_begin && x.a_end == y.a_end && x.b_begin == y.b_begin &&
+         x.b_end == y.b_end && x.score == y.score && x.ops == y.ops;
+}
+
+// True if `f` covers `l`: same or larger extent with at least its score —
+// the paper's FastZ-vs-LASTZ correctness criterion (Sections 3.4, 5).
+bool covers(const Alignment& f, const Alignment& l) {
+  return f.a_begin <= l.a_begin && f.a_end >= l.a_end && f.b_begin <= l.b_begin &&
+         f.b_end >= l.b_end && f.score >= l.score;
+}
+
+void compare_exact_lists(DiffResult& out, const FuzzCase& c, const char* who,
+                         const std::vector<Alignment>& expected,
+                         const std::vector<Alignment>& got) {
+  out.expect(expected.size() == got.size(),
+             tag(c, std::string(who) + " reported " + std::to_string(got.size()) +
+                        " alignments, sequential LASTZ " +
+                        std::to_string(expected.size())));
+  const std::size_t n = std::min(expected.size(), got.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    out.expect(same_alignment(expected[k], got[k]),
+               tag(c, std::string(who) + " alignment " + std::to_string(k) + " " +
+                          aln_str(got[k]) + " != LASTZ " + aln_str(expected[k])));
+  }
+}
+
+// ---- Pipeline kinds: sequential LASTZ vs multicore vs FastZ. -------------
+void diff_pipelines(DiffResult& out, const FuzzCase& c, InjectedBug bug, bool exact) {
+  const PipelineResult lastz = run_lastz(c.a, c.b, c.params, c.pipeline);
+
+  // Multicore must be bit-identical to sequential LASTZ regardless of
+  // schedule. The subject of injected bugs on the non-exact kind.
+  MulticoreOptions mc_opts;
+  mc_opts.threads = 3;
+  mc_opts.dynamic_schedule = (c.seed % 2) == 1;
+  const ScoreParams mc_params = exact ? c.params : subject_params(c, bug);
+  MulticoreResult mc = run_multicore_lastz(c.a, c.b, mc_params, c.pipeline, mc_opts);
+  if (!exact) tamper(mc.alignments, bug);
+  compare_exact_lists(out, c, "multicore", lastz.alignments, mc.alignments);
+  if (bug == InjectedBug::kNone) {
+    out.expect(mc.counters.dp_cells == lastz.counters.dp_cells,
+               tag(c, "multicore dp_cells " + std::to_string(mc.counters.dp_cells) +
+                          " != LASTZ " + std::to_string(lastz.counters.dp_cells)));
+  }
+
+  // FastZ: the subject of injected bugs on the exact kind.
+  const ScoreParams fz_params = exact ? subject_params(c, bug) : c.params;
+  const FastzStudy study(c.a, c.b, fz_params, c.pipeline);
+  std::vector<Alignment> fastz = study.alignments();
+  if (exact) tamper(fastz, bug);
+
+  if (exact) {
+    // Unbounded y-drop: conservative == sequential search, so the FastZ
+    // pipeline must reproduce LASTZ's alignment list verbatim.
+    compare_exact_lists(out, c, "fastz", lastz.alignments, fastz);
+  } else {
+    for (const Alignment& l : lastz.alignments) {
+      const bool matched = std::any_of(fastz.begin(), fastz.end(),
+                                       [&](const Alignment& f) { return covers(f, l); });
+      out.expect(matched, tag(c, "LASTZ alignment " + aln_str(l) +
+                                     " not covered by any FastZ alignment"));
+    }
+    out.expect(fastz.size() + 1 >= lastz.alignments.size() &&
+                   fastz.size() <= lastz.alignments.size() + 2 +
+                                       lastz.alignments.size() / 4,
+               tag(c, "FastZ reported " + std::to_string(fastz.size()) +
+                          " alignments vs LASTZ " +
+                          std::to_string(lastz.alignments.size()) +
+                          " — outside the conservative-superset envelope"));
+    out.expect(study.inspector_cells() >= lastz.counters.dp_cells,
+               tag(c, "inspector explored " + std::to_string(study.inspector_cells()) +
+                          " cells < sequential " +
+                          std::to_string(lastz.counters.dp_cells)));
+  }
+
+  if (bug == InjectedBug::kNone) {
+    for (const Alignment& aln : fastz) {
+      try {
+        const Score rescored = rescore_alignment(aln, c.a, c.b, c.params);
+        out.expect(rescored == aln.score,
+                   tag(c, "FastZ alignment " + aln_str(aln) + " rescores to " +
+                              std::to_string(rescored)));
+      } catch (const std::invalid_argument& e) {
+        out.expect(false, tag(c, "FastZ alignment " + aln_str(aln) +
+                                     " has an invalid ops walk: " + e.what()));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* bug_name(InjectedBug bug) noexcept {
+  switch (bug) {
+    case InjectedBug::kNone: return "none";
+    case InjectedBug::kGapExtend: return "gap-extend";
+    case InjectedBug::kDropOp: return "drop-op";
+    case InjectedBug::kScoreOffByOne: return "score-off-by-one";
+  }
+  return "unknown";
+}
+
+InjectedBug parse_bug(std::string_view name) {
+  if (name == "none") return InjectedBug::kNone;
+  if (name == "gap-extend") return InjectedBug::kGapExtend;
+  if (name == "drop-op") return InjectedBug::kDropOp;
+  if (name == "score-off-by-one") return InjectedBug::kScoreOffByOne;
+  throw std::invalid_argument("parse_bug: unknown bug '" + std::string(name) +
+                              "' (none|gap-extend|drop-op|score-off-by-one)");
+}
+
+DiffResult diff_case(const FuzzCase& c, InjectedBug bug) {
+  DiffResult out;
+  switch (c.kind) {
+    case CaseKind::kOneSidedRandom:
+    case CaseKind::kOneSidedRelated:
+    case CaseKind::kHomopolymer:
+    case CaseKind::kLowComplexity:
+      diff_one_sided_exact(out, c, bug);
+      break;
+    case CaseKind::kBinBoundary:
+      diff_pruned(out, c, bug);
+      break;
+    case CaseKind::kDegenerate:
+      // Degenerate inputs must survive both layers: the raw DP and the
+      // full pipelines (empty seqs, sub-seed-span seqs, single bases).
+      diff_one_sided_exact(out, c, bug);
+      diff_pipelines(out, c, bug, /*exact=*/true);
+      break;
+    case CaseKind::kPipelineExact:
+      diff_pipelines(out, c, bug, /*exact=*/true);
+      break;
+    case CaseKind::kPipeline:
+      diff_pipelines(out, c, bug, /*exact=*/false);
+      break;
+  }
+  return out;
+}
+
+}  // namespace fastz::testing

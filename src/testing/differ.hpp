@@ -1,0 +1,63 @@
+// Cross-implementation equivalence checkers.
+//
+// Each checker runs several independent implementations of the same
+// alignment subproblem and reports every divergence as a human-readable
+// string that always embeds the replay seed. The equivalence classes are
+// the theorems the repository's correctness story rests on:
+//
+//   * unbounded y-drop: `ydrop_one_sided_align` (both prune modes) and the
+//     warp-strip kernel equal `reference_extend` cell-for-cell — score,
+//     optimal cell, and full traceback (CIGAR);
+//   * finite y-drop: conservative pruning explores a superset of sequential
+//     pruning (score and cells never smaller), the trimmed executor re-run
+//     reproduces the inspector's optimal cell exactly, and every traceback
+//     rescores to its claimed score;
+//   * pipelines: sequential LASTZ and multicore LASTZ are bit-identical;
+//     FastZ covers every LASTZ alignment (same or longer, score >=); with
+//     unbounded y-drop all three report identical alignment lists.
+//
+// `InjectedBug` deliberately breaks one implementation ("the subject") so
+// tests can prove the harness actually catches and shrinks real defects —
+// the same validation discipline as mutation testing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "testing/corpus.hpp"
+
+namespace fastz::testing {
+
+enum class InjectedBug : std::uint8_t {
+  kNone = 0,
+  // The subject implementation scores gap extensions one unit too cheap
+  // (its ScoreParams.gap_extend is off by +1) — a genuine wrong-DP bug.
+  kGapExtend,
+  // The subject drops the final traceback operation (truncated CIGAR).
+  kDropOp,
+  // The subject reports its optimal score one higher than computed.
+  kScoreOffByOne,
+};
+
+const char* bug_name(InjectedBug bug) noexcept;
+// Parses "none" / "gap-extend" / "drop-op" / "score-off-by-one".
+// Throws std::invalid_argument on anything else.
+InjectedBug parse_bug(std::string_view name);
+
+struct DiffResult {
+  std::uint64_t checks = 0;          // individual comparisons performed
+  std::vector<std::string> diffs;    // one entry per divergence
+
+  bool ok() const noexcept { return diffs.empty(); }
+  void expect(bool pass, std::string message) {
+    ++checks;
+    if (!pass) diffs.push_back(std::move(message));
+  }
+};
+
+// Runs the equivalence checks appropriate for the case's kind.
+DiffResult diff_case(const FuzzCase& c, InjectedBug bug = InjectedBug::kNone);
+
+}  // namespace fastz::testing

@@ -1,0 +1,86 @@
+#include "testing/fuzz.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "testing/minimizer.hpp"
+#include "util/timer.hpp"
+
+namespace fastz::testing {
+
+namespace {
+
+FuzzFailure build_failure(const FuzzCase& c, DiffResult diff, const FuzzOptions& options) {
+  FuzzFailure failure;
+  failure.seed = c.seed;
+  failure.kind = c.kind;
+  failure.diffs = std::move(diff.diffs);
+  failure.replay = replay_command(c);
+  if (options.minimize) {
+    const MinimizeOutcome shrunk = minimize_case(c, options.bug);
+    failure.minimized = true;
+    failure.minimized_a = shrunk.reduced.a.to_string();
+    failure.minimized_b = shrunk.reduced.b.to_string();
+  }
+  return failure;
+}
+
+void run_one(std::uint64_t seed, const FuzzOptions& options, FuzzSummary& summary) {
+  const FuzzCase c = make_case(seed);
+  DiffResult diff = diff_case(c, options.bug);
+  ++summary.cases_run;
+  summary.checks += diff.checks;
+  summary.by_kind[static_cast<std::size_t>(c.kind)] += 1;
+  if (!diff.ok()) {
+    FuzzFailure failure = build_failure(c, std::move(diff), options);
+    if (options.log != nullptr) *options.log << format_failure(failure) << "\n";
+    summary.failures.push_back(std::move(failure));
+  }
+}
+
+}  // namespace
+
+std::string format_failure(const FuzzFailure& failure) {
+  std::ostringstream os;
+  os << "FAIL: divergence on seed " << failure.seed << " ("
+     << case_kind_name(failure.kind) << ")\n";
+  os << "  replay: " << failure.replay << "\n";
+  for (const std::string& diff : failure.diffs) os << "  " << diff << "\n";
+  if (failure.minimized) {
+    os << "  minimized a (" << failure.minimized_a.size()
+       << " bp): " << (failure.minimized_a.empty() ? "<empty>" : failure.minimized_a)
+       << "\n";
+    os << "  minimized b (" << failure.minimized_b.size()
+       << " bp): " << (failure.minimized_b.empty() ? "<empty>" : failure.minimized_b);
+  }
+  return os.str();
+}
+
+FuzzSummary run_fuzz(const FuzzOptions& options) {
+  FuzzSummary summary;
+  Timer clock;
+  for (std::uint64_t k = 0; k < options.cases; ++k) {
+    if (options.budget_s > 0.0 && clock.elapsed_s() >= options.budget_s) {
+      summary.budget_exhausted = true;
+      break;
+    }
+    run_one(options.first_seed + k, options, summary);
+    if (!summary.failures.empty() && options.stop_on_failure) break;
+    if (options.log != nullptr && summary.cases_run % 200 == 0) {
+      *options.log << "  ... " << summary.cases_run << "/" << options.cases
+                   << " cases, " << summary.checks << " checks, no divergence\n";
+    }
+  }
+  summary.elapsed_s = clock.elapsed_s();
+  return summary;
+}
+
+FuzzSummary replay_seed(std::uint64_t seed, const FuzzOptions& options) {
+  FuzzSummary summary;
+  Timer clock;
+  run_one(seed, options, summary);
+  summary.elapsed_s = clock.elapsed_s();
+  return summary;
+}
+
+}  // namespace fastz::testing

@@ -1,0 +1,61 @@
+// The fuzz loop: generate -> diff -> (on divergence) minimize -> report.
+//
+// Drives the seeded corpus through the differential checkers, accumulating
+// per-kind coverage and check counts. On the first divergence it shrinks
+// the case with the greedy minimizer and formats a report whose first line
+// is the copy-pasteable replay command — the workflow every future perf PR
+// (streams, sharding, batching) lands against.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "testing/corpus.hpp"
+#include "testing/differ.hpp"
+
+namespace fastz::testing {
+
+struct FuzzOptions {
+  std::uint64_t cases = 1000;       // generated cases to run
+  std::uint64_t first_seed = 1;     // case seeds are first_seed, first_seed+1, ...
+  double budget_s = 0.0;            // stop early after this much wall-clock (0 = off)
+  InjectedBug bug = InjectedBug::kNone;
+  bool minimize = true;             // shrink the first failing case
+  bool stop_on_failure = true;      // stop at the first divergence
+  std::ostream* log = nullptr;      // progress + failure reports (null = silent)
+};
+
+struct FuzzFailure {
+  std::uint64_t seed = 0;
+  CaseKind kind = CaseKind::kOneSidedRandom;
+  std::vector<std::string> diffs;   // divergences from the differ
+  std::string replay;               // "fastz_fuzz --replay seed=N"
+  bool minimized = false;
+  std::string minimized_a;          // shrunk inputs, ACGT text
+  std::string minimized_b;
+};
+
+struct FuzzSummary {
+  std::uint64_t cases_run = 0;
+  std::uint64_t checks = 0;         // individual comparisons across all cases
+  std::array<std::uint64_t, kCaseKindCount> by_kind{};
+  std::vector<FuzzFailure> failures;
+  double elapsed_s = 0.0;
+  bool budget_exhausted = false;
+
+  bool ok() const noexcept { return failures.empty(); }
+};
+
+FuzzSummary run_fuzz(const FuzzOptions& options);
+
+// Replays a single seed: diff, and on divergence minimize. Used by
+// `fastz_fuzz --replay` and by tests.
+FuzzSummary replay_seed(std::uint64_t seed, const FuzzOptions& options);
+
+// Formats one failure as a multi-line report (replay line first).
+std::string format_failure(const FuzzFailure& failure);
+
+}  // namespace fastz::testing

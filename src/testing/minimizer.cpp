@@ -1,0 +1,82 @@
+#include "testing/minimizer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace fastz::testing {
+
+namespace {
+
+Sequence without_window(const Sequence& s, std::size_t begin, std::size_t count) {
+  std::vector<BaseCode> codes;
+  codes.reserve(s.size() - count);
+  const auto all = s.codes();
+  codes.insert(codes.end(), all.begin(), all.begin() + static_cast<std::ptrdiff_t>(begin));
+  codes.insert(codes.end(), all.begin() + static_cast<std::ptrdiff_t>(begin + count),
+               all.end());
+  return Sequence(s.name(), std::move(codes));
+}
+
+// One shrink pass over one sequence: for each chunk size (halving), scan
+// windows and keep every removal that preserves the failure. Returns true
+// if anything was removed.
+bool shrink_sequence(FuzzCase& c, bool target_a,
+                     const std::function<bool(const FuzzCase&)>& still_fails,
+                     std::size_t max_probes, std::size_t& probes) {
+  bool progressed = false;
+  for (std::size_t chunk = std::max<std::size_t>(1, (target_a ? c.a : c.b).size() / 2);
+       chunk >= 1; chunk /= 2) {
+    bool removed_at_this_size = true;
+    while (removed_at_this_size) {
+      removed_at_this_size = false;
+      const Sequence& cur = target_a ? c.a : c.b;
+      if (cur.size() < chunk) break;
+      for (std::size_t begin = 0; begin + chunk <= cur.size();) {
+        if (probes >= max_probes) return progressed;
+        FuzzCase candidate = c;
+        (target_a ? candidate.a : candidate.b) =
+            without_window(target_a ? c.a : c.b, begin, chunk);
+        ++probes;
+        if (still_fails(candidate)) {
+          c = std::move(candidate);
+          progressed = true;
+          removed_at_this_size = true;
+          // Same `begin` now addresses the bases that slid into the window.
+        } else {
+          begin += chunk;
+        }
+        if ((target_a ? c.a : c.b).size() < chunk) break;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return progressed;
+}
+
+}  // namespace
+
+MinimizeOutcome minimize_case(const FuzzCase& c,
+                              const std::function<bool(const FuzzCase&)>& still_fails,
+                              const MinimizeOptions& options) {
+  MinimizeOutcome out;
+  out.reduced = c;
+  bool progressed = true;
+  while (progressed && out.probes < options.max_probes) {
+    progressed = false;
+    progressed |= shrink_sequence(out.reduced, /*target_a=*/true, still_fails,
+                                  options.max_probes, out.probes);
+    progressed |= shrink_sequence(out.reduced, /*target_a=*/false, still_fails,
+                                  options.max_probes, out.probes);
+    ++out.rounds;
+  }
+  return out;
+}
+
+MinimizeOutcome minimize_case(const FuzzCase& c, InjectedBug bug,
+                              const MinimizeOptions& options) {
+  return minimize_case(
+      c, [bug](const FuzzCase& candidate) { return !diff_case(candidate, bug).ok(); },
+      options);
+}
+
+}  // namespace fastz::testing

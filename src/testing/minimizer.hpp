@@ -1,0 +1,41 @@
+// Greedy failing-case minimizer (delta debugging, ddmin-style).
+//
+// Given a case whose equivalence check fails, repeatedly removes chunks of
+// either sequence — halves first, then ever-smaller windows down to single
+// bases — keeping a removal whenever the reduced case still fails. The
+// result is a (locally) 1-minimal pair: removing any single remaining base
+// makes the divergence disappear, which is usually small enough to read the
+// DP by hand.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "testing/corpus.hpp"
+#include "testing/differ.hpp"
+
+namespace fastz::testing {
+
+struct MinimizeOptions {
+  // Cap on predicate evaluations; greedy shrinking converges long before
+  // this on realistic cases, the cap just bounds pathological inputs.
+  std::size_t max_probes = 4000;
+};
+
+struct MinimizeOutcome {
+  FuzzCase reduced;        // same seed/kind/params, shrunk sequences
+  std::size_t probes = 0;  // predicate evaluations spent
+  std::size_t rounds = 0;  // full passes over both sequences
+};
+
+// Shrinks `c.a` / `c.b` while `still_fails(reduced)` holds. Pre: the
+// predicate holds for `c` itself (callers check before minimizing).
+MinimizeOutcome minimize_case(const FuzzCase& c,
+                              const std::function<bool(const FuzzCase&)>& still_fails,
+                              const MinimizeOptions& options = {});
+
+// Convenience: minimize against diff_case with the given injected bug.
+MinimizeOutcome minimize_case(const FuzzCase& c, InjectedBug bug,
+                              const MinimizeOptions& options = {});
+
+}  // namespace fastz::testing

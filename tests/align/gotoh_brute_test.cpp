@@ -1,0 +1,287 @@
+// Brute-force cross-check of the correctness reference itself (satellite of
+// the differential-harness PR). `reference_extend` anchors every equivalence
+// argument in the repo, so it gets two independent checkers:
+//
+//  1. A memoized three-state recursion written from the recurrences in the
+//     paper's Figure 1, sharing no code (and no loop structure) with the
+//     iterative implementation in gotoh_reference.cpp.
+//  2. For the tiniest pairs, an exhaustive walk over every monotone edit
+//     script from (0,0), scoring each path directly with affine gap costs —
+//     no DP at all, so a recurrence transcribed wrong in both DP
+//     implementations still gets caught.
+//
+// Inputs are enumerated exhaustively (all pairs up to length 3 over the full
+// alphabet, all pairs up to length 6 over a binary alphabet) plus seeded
+// random pairs up to 12 bp.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "align/gotoh_reference.hpp"
+#include "util/prng.hpp"
+
+namespace fastz {
+namespace {
+
+// --- Checker 1: memoized three-state recursion -----------------------------
+
+class BruteGotoh {
+ public:
+  BruteGotoh(std::span<const BaseCode> a, std::span<const BaseCode> b,
+             const ScoreParams& params)
+      : a_(a), b_(b), params_(params), m_(a.size()), n_(b.size()),
+        memo_((m_ + 1) * (n_ + 1)) {}
+
+  // Best score of any extension path from (0,0) ending at (i, j).
+  Score cell(std::size_t i, std::size_t j) {
+    const std::array<Score, 3>& s = states(i, j);
+    return std::max(s[0], std::max(s[1], s[2]));
+  }
+
+  BestCell best() {
+    BestCell best;  // cell (0,0) scores 0
+    for (std::size_t i = 0; i <= m_; ++i) {
+      for (std::size_t j = 0; j <= n_; ++j) {
+        best.consider(cell(i, j), static_cast<std::uint32_t>(i),
+                      static_cast<std::uint32_t>(j));
+      }
+    }
+    return best;
+  }
+
+ private:
+  // [0] path ends in a substitution (or is empty), [1] ends in a gap-in-A
+  // (consumes B), [2] ends in a gap-in-B (consumes A).
+  const std::array<Score, 3>& states(std::size_t i, std::size_t j) {
+    Cell& c = memo_[i * (n_ + 1) + j];
+    if (c.ready) return c.s;
+    c.ready = true;  // no cyclic dependency: each state reads smaller (i, j)
+    if (i == 0 && j == 0) {
+      c.s = {0, kNegativeInfinity, kNegativeInfinity};
+      return c.s;
+    }
+    const Score open = params_.gap_open + params_.gap_extend;
+    c.s[0] = (i > 0 && j > 0)
+                 ? cell(i - 1, j - 1) + params_.substitution(a_[i - 1], b_[j - 1])
+                 : kNegativeInfinity;
+    c.s[1] = (j > 0) ? std::max(cell(i, j - 1) + open,
+                                states(i, j - 1)[1] + params_.gap_extend)
+                     : kNegativeInfinity;
+    c.s[2] = (i > 0) ? std::max(cell(i - 1, j) + open,
+                                states(i - 1, j)[2] + params_.gap_extend)
+                     : kNegativeInfinity;
+    return c.s;
+  }
+
+  struct Cell {
+    std::array<Score, 3> s{};
+    bool ready = false;
+  };
+
+  std::span<const BaseCode> a_;
+  std::span<const BaseCode> b_;
+  const ScoreParams& params_;
+  std::size_t m_;
+  std::size_t n_;
+  std::vector<Cell> memo_;
+};
+
+// --- Checker 2: exhaustive path enumeration --------------------------------
+
+// Scores every monotone edit script from (0,0); `last` distinguishes whether
+// a gap op continues a run (extend only) or starts one (open + extend).
+void enumerate_paths(std::span<const BaseCode> a, std::span<const BaseCode> b,
+                     const ScoreParams& params, std::size_t i, std::size_t j,
+                     AlignOp last, Score score, BestCell& best) {
+  best.consider(score, static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j));
+  const Score open = params.gap_open + params.gap_extend;
+  if (i < a.size() && j < b.size()) {
+    enumerate_paths(a, b, params, i + 1, j + 1, AlignOp::Match,
+                    score + params.substitution(a[i], b[j]), best);
+  }
+  if (j < b.size()) {
+    enumerate_paths(a, b, params, i, j + 1, AlignOp::Insert,
+                    score + (last == AlignOp::Insert ? params.gap_extend : open), best);
+  }
+  if (i < a.size()) {
+    enumerate_paths(a, b, params, i + 1, j, AlignOp::Delete,
+                    score + (last == AlignOp::Delete ? params.gap_extend : open), best);
+  }
+}
+
+BestCell path_enumeration_best(std::span<const BaseCode> a, std::span<const BaseCode> b,
+                               const ScoreParams& params) {
+  BestCell best;
+  enumerate_paths(a, b, params, 0, 0, AlignOp::Match, 0, best);
+  return best;
+}
+
+// --- Shared assertions ------------------------------------------------------
+
+std::string codes_string(std::span<const BaseCode> codes) {
+  std::string out;
+  for (const BaseCode c : codes) out += "ACGT"[c];
+  return out.empty() ? "(empty)" : out;
+}
+
+// Independent affine rescore of the reference's traceback path; also checks
+// the ops consume exactly (best.i, best.j).
+void check_reference_ops(const ReferenceResult& ref, std::span<const BaseCode> a,
+                         std::span<const BaseCode> b, const ScoreParams& params) {
+  Score score = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  AlignOp last = AlignOp::Match;
+  for (const AlignOp op : ref.ops) {
+    switch (op) {
+      case AlignOp::Match:
+        ASSERT_LT(i, a.size());
+        ASSERT_LT(j, b.size());
+        score += params.substitution(a[i++], b[j++]);
+        break;
+      case AlignOp::Insert:
+        ASSERT_LT(j, b.size());
+        score += params.gap_extend + (last == AlignOp::Insert ? 0 : params.gap_open);
+        ++j;
+        break;
+      case AlignOp::Delete:
+        ASSERT_LT(i, a.size());
+        score += params.gap_extend + (last == AlignOp::Delete ? 0 : params.gap_open);
+        ++i;
+        break;
+    }
+    last = op;
+  }
+  EXPECT_EQ(score, ref.best.score) << "traceback path does not rescore to the optimum";
+  EXPECT_EQ(i, ref.best.i);
+  EXPECT_EQ(j, ref.best.j);
+}
+
+// Returns false (after recording the failure) on mismatch so exhaustive
+// loops can stop at the first broken pair instead of flooding the log.
+[[nodiscard]] bool expect_same_best(const BestCell& got, const BestCell& want,
+                                    const char* checker, std::span<const BaseCode> a,
+                                    std::span<const BaseCode> b) {
+  const bool same = got.score == want.score && got.i == want.i && got.j == want.j;
+  EXPECT_TRUE(same) << checker << " disagrees with reference_extend on a="
+                    << codes_string(a) << " b=" << codes_string(b) << ": got ("
+                    << got.score << "," << got.i << "," << got.j << ") want ("
+                    << want.score << "," << want.i << "," << want.j << ")";
+  return same;
+}
+
+// All sequences over the first `alphabet` letters with length <= max_len,
+// shortest first.
+std::vector<std::vector<BaseCode>> all_sequences(std::size_t max_len, BaseCode alphabet) {
+  std::vector<std::vector<BaseCode>> out{{}};
+  std::size_t round_begin = 0;
+  for (std::size_t len = 1; len <= max_len; ++len) {
+    const std::size_t round_end = out.size();
+    for (std::size_t k = round_begin; k < round_end; ++k) {
+      for (BaseCode c = 0; c < alphabet; ++c) {
+        std::vector<BaseCode> next = out[k];
+        next.push_back(c);
+        out.push_back(std::move(next));
+      }
+    }
+    round_begin = round_end;
+  }
+  return out;
+}
+
+// --- Tests ------------------------------------------------------------------
+
+TEST(GotohBrute, ExhaustiveTinyPairsAgainstPathEnumeration) {
+  // Every pair up to 3 bp over the full alphabet (85 x 85 pairs), against
+  // both independent checkers, under two scoring models.
+  const std::vector<std::vector<BaseCode>> seqs = all_sequences(3, 4);
+  ScoreParams hoxd = lastz_default_params();
+  hoxd.gap_open = -40;  // keep gaps competitive at these tiny scales
+  hoxd.gap_extend = -5;
+  for (const ScoreParams& params : {test_params(), hoxd}) {
+    for (const std::vector<BaseCode>& a : seqs) {
+      for (const std::vector<BaseCode>& b : seqs) {
+        const ReferenceResult ref = reference_extend(a, b, params);
+        if (!expect_same_best(path_enumeration_best(a, b, params), ref.best,
+                              "path enumeration", a, b)) {
+          return;  // one broken pair is enough detail
+        }
+        if (!expect_same_best(BruteGotoh(a, b, params).best(), ref.best, "brute DP",
+                              a, b)) {
+          return;
+        }
+      }
+    }
+  }
+}
+
+TEST(GotohBrute, ExhaustiveBinaryAlphabetPairs) {
+  // Longer gap structures: every pair up to 6 bp over {A, C} (127 x 127
+  // pairs). Path enumeration is too slow here; the memoized DP checks every
+  // cell value, not just the optimum.
+  const std::vector<std::vector<BaseCode>> seqs = all_sequences(6, 2);
+  const ScoreParams params = test_params();
+  for (const std::vector<BaseCode>& a : seqs) {
+    for (const std::vector<BaseCode>& b : seqs) {
+      const ReferenceResult ref = reference_extend(a, b, params);
+      if (!expect_same_best(BruteGotoh(a, b, params).best(), ref.best, "brute DP", a,
+                            b)) {
+        return;
+      }
+    }
+  }
+}
+
+TEST(GotohBrute, RandomPairsUpTo12bp) {
+  Xoshiro256 rng(0x607084);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<BaseCode> a(rng.below(13));
+    std::vector<BaseCode> b(rng.below(13));
+    for (BaseCode& c : a) c = static_cast<BaseCode>(rng.below(4));
+    for (BaseCode& c : b) c = static_cast<BaseCode>(rng.below(4));
+    ScoreParams params = (trial % 2) ? lastz_default_params() : test_params();
+    params.gap_open = -static_cast<Score>(rng.below(50));
+    params.gap_extend = -static_cast<Score>(rng.below(10));
+
+    const ReferenceResult ref = reference_extend(a, b, params);
+    if (!expect_same_best(BruteGotoh(a, b, params).best(), ref.best, "brute DP", a, b)) {
+      return;
+    }
+    check_reference_ops(ref, a, b, params);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(GotohBrute, KnownHandComputedCases) {
+  const ScoreParams params = test_params();  // unit matrix, open -3, extend -1
+  const std::vector<BaseCode> acgt = {0, 1, 2, 3};
+  {
+    // Identity: score = length, best cell at the far corner.
+    const ReferenceResult ref = reference_extend(acgt, acgt, params);
+    EXPECT_EQ(ref.best.score, 4);
+    EXPECT_EQ(ref.best.i, 4u);
+    EXPECT_EQ(ref.best.j, 4u);
+    EXPECT_EQ(ref.cells, 16u);
+  }
+  {
+    // One deleted base: AC-GT vs ACGT-like pair. a=ACGT b=AGT: match A,
+    // delete C (-3 -1), match GT => 3 - 4 = -1; better is matching just A
+    // (score 1) — the extension stops at (1,1).
+    const std::vector<BaseCode> agt = {0, 2, 3};
+    const ReferenceResult ref = reference_extend(acgt, agt, params);
+    EXPECT_EQ(ref.best.score, 1);
+    EXPECT_EQ(ref.best.i, 1u);
+    EXPECT_EQ(ref.best.j, 1u);
+  }
+  {
+    // Empty inputs: the origin is the only cell.
+    const ReferenceResult ref = reference_extend({}, {}, params);
+    EXPECT_EQ(ref.best.score, 0);
+    EXPECT_EQ(ref.cells, 0u);
+    EXPECT_TRUE(ref.ops.empty());
+  }
+}
+
+}  // namespace
+}  // namespace fastz

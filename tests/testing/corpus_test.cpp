@@ -1,0 +1,106 @@
+// The corpus generator is the root of every fuzz repro: a seed must map to
+// exactly one case, the kind mix must cover every population, and the
+// replay string must round-trip.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testing/corpus.hpp"
+
+namespace fastz {
+namespace {
+
+using testing::CaseKind;
+using testing::FuzzCase;
+using testing::kCaseKindCount;
+using testing::make_case;
+using testing::make_case_of_kind;
+using testing::parse_replay;
+using testing::replay_command;
+
+TEST(Corpus, SameSeedSameCase) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    const FuzzCase c1 = make_case(seed);
+    const FuzzCase c2 = make_case(seed);
+    EXPECT_EQ(c1.kind, c2.kind);
+    EXPECT_EQ(c1.a.to_string(), c2.a.to_string());
+    EXPECT_EQ(c1.b.to_string(), c2.b.to_string());
+    EXPECT_EQ(c1.params.gap_open, c2.params.gap_open);
+    EXPECT_EQ(c1.params.ydrop, c2.params.ydrop);
+    EXPECT_EQ(c1.pipeline.sample_seed, c2.pipeline.sample_seed);
+  }
+}
+
+TEST(Corpus, DistinctSeedsVaryInputs) {
+  std::set<std::string> bodies;
+  for (std::uint64_t seed = 100; seed < 140; ++seed) {
+    bodies.insert(make_case_of_kind(seed, CaseKind::kOneSidedRelated).a.to_string());
+  }
+  // Random 16-160 bp sequences almost surely all differ.
+  EXPECT_GE(bodies.size(), 39u);
+}
+
+TEST(Corpus, EveryKindAppearsInASeedSweep) {
+  std::array<bool, kCaseKindCount> seen{};
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    seen[static_cast<std::size_t>(make_case(seed).kind)] = true;
+  }
+  for (std::size_t k = 0; k < kCaseKindCount; ++k) {
+    EXPECT_TRUE(seen[k]) << "kind " << testing::case_kind_name(static_cast<CaseKind>(k))
+                         << " never generated in 200 seeds";
+  }
+}
+
+TEST(Corpus, ParamsAlwaysValidate) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    EXPECT_NO_THROW(make_case(seed).params.validate()) << "seed " << seed;
+  }
+}
+
+TEST(Corpus, BinBoundaryCasesStraddleEveryEdge) {
+  std::set<std::size_t> lengths;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    lengths.insert(make_case_of_kind(seed, CaseKind::kBinBoundary).a.size());
+  }
+  for (std::size_t edge : {512u, 2048u, 8192u, 32768u}) {
+    EXPECT_TRUE(lengths.count(edge - 1) || lengths.count(edge) || lengths.count(edge + 1))
+        << "no boundary case near edge " << edge;
+  }
+}
+
+TEST(Corpus, DegenerateKindProducesEmptyInputs) {
+  bool saw_empty_a = false;
+  bool saw_empty_b = false;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const FuzzCase c = make_case_of_kind(seed, CaseKind::kDegenerate);
+    saw_empty_a |= c.a.empty();
+    saw_empty_b |= c.b.empty();
+  }
+  EXPECT_TRUE(saw_empty_a);
+  EXPECT_TRUE(saw_empty_b);
+}
+
+TEST(Corpus, ReplayCommandRoundTrips) {
+  EXPECT_EQ(replay_command(123), "fastz_fuzz --replay seed=123");
+  EXPECT_EQ(parse_replay("seed=123"), 123u);
+  EXPECT_EQ(parse_replay("123"), 123u);
+  EXPECT_EQ(parse_replay("seed=18446744073709551615"), ~0ull);
+  EXPECT_THROW(parse_replay(""), std::invalid_argument);
+  EXPECT_THROW(parse_replay("seed="), std::invalid_argument);
+  EXPECT_THROW(parse_replay("seed=12x"), std::invalid_argument);
+  EXPECT_THROW(parse_replay("case=12"), std::invalid_argument);
+}
+
+TEST(Corpus, ForcedKindMatchesWeightedGeneration) {
+  // make_case must agree with make_case_of_kind for the kind it picked, so
+  // a replay of a weighted-run failure regenerates identical inputs.
+  for (std::uint64_t seed = 50; seed < 60; ++seed) {
+    const FuzzCase weighted = make_case(seed);
+    const FuzzCase forced = make_case_of_kind(seed, weighted.kind);
+    EXPECT_EQ(weighted.a.to_string(), forced.a.to_string());
+    EXPECT_EQ(weighted.b.to_string(), forced.b.to_string());
+  }
+}
+
+}  // namespace
+}  // namespace fastz

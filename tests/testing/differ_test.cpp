@@ -1,0 +1,93 @@
+// The differ must (1) pass every clean case, (2) catch each injected bug
+// class, and (3) never report a failure without the replay seed embedded —
+// the no-silent-nondeterminism rule.
+#include <gtest/gtest.h>
+
+#include "testing/differ.hpp"
+
+namespace fastz {
+namespace {
+
+using testing::CaseKind;
+using testing::DiffResult;
+using testing::FuzzCase;
+using testing::InjectedBug;
+using testing::diff_case;
+using testing::make_case;
+using testing::make_case_of_kind;
+using testing::parse_bug;
+
+TEST(Differ, CleanCasesOfEveryKindPass) {
+  for (std::size_t k = 0; k < testing::kCaseKindCount; ++k) {
+    for (std::uint64_t seed = 30; seed < 34; ++seed) {
+      const FuzzCase c = make_case_of_kind(seed, static_cast<CaseKind>(k));
+      SCOPED_TRACE(testing::replay_command(c));
+      const DiffResult r = diff_case(c);
+      EXPECT_TRUE(r.ok()) << (r.diffs.empty() ? "" : r.diffs.front());
+      EXPECT_GT(r.checks, 0u);
+    }
+  }
+}
+
+// Finds a seed (from `first`) where `bug` diverges for `kind`; not every
+// case exposes every bug (e.g. a gap-free alignment hides kGapExtend).
+std::uint64_t failing_seed(CaseKind kind, InjectedBug bug, std::uint64_t first = 1) {
+  for (std::uint64_t seed = first; seed < first + 200; ++seed) {
+    if (!diff_case(make_case_of_kind(seed, kind), bug).ok()) return seed;
+  }
+  return 0;
+}
+
+TEST(Differ, GapExtendBugCaughtOnOracleKinds) {
+  const std::uint64_t seed = failing_seed(CaseKind::kOneSidedRelated, InjectedBug::kGapExtend);
+  ASSERT_NE(seed, 0u) << "no case exposed the gap-extend bug in 200 seeds";
+}
+
+TEST(Differ, GapExtendBugCaughtOnExactPipeline) {
+  const std::uint64_t seed = failing_seed(CaseKind::kPipelineExact, InjectedBug::kGapExtend);
+  ASSERT_NE(seed, 0u) << "no pipeline-exact case exposed the gap-extend bug";
+}
+
+TEST(Differ, DropOpBugCaught) {
+  ASSERT_NE(failing_seed(CaseKind::kOneSidedRelated, InjectedBug::kDropOp), 0u);
+  ASSERT_NE(failing_seed(CaseKind::kPipelineExact, InjectedBug::kDropOp), 0u);
+}
+
+TEST(Differ, ScoreOffByOneBugCaught) {
+  ASSERT_NE(failing_seed(CaseKind::kOneSidedRandom, InjectedBug::kScoreOffByOne), 0u);
+  ASSERT_NE(failing_seed(CaseKind::kBinBoundary, InjectedBug::kScoreOffByOne), 0u);
+  ASSERT_NE(failing_seed(CaseKind::kPipeline, InjectedBug::kScoreOffByOne), 0u);
+}
+
+TEST(Differ, EveryDiffMessageEmbedsTheReplaySeed) {
+  const std::uint64_t seed = failing_seed(CaseKind::kOneSidedRelated, InjectedBug::kGapExtend);
+  ASSERT_NE(seed, 0u);
+  const DiffResult r =
+      diff_case(make_case_of_kind(seed, CaseKind::kOneSidedRelated), InjectedBug::kGapExtend);
+  ASSERT_FALSE(r.ok());
+  const std::string replay = testing::replay_command(seed);
+  for (const std::string& diff : r.diffs) {
+    EXPECT_NE(diff.find(replay), std::string::npos)
+        << "diff message lacks replay command: " << diff;
+    EXPECT_NE(diff.find("seed=" + std::to_string(seed)), std::string::npos);
+  }
+}
+
+TEST(Differ, DiffIsDeterministic) {
+  const FuzzCase c = make_case_of_kind(77, CaseKind::kPipeline);
+  const DiffResult r1 = diff_case(c);
+  const DiffResult r2 = diff_case(c);
+  EXPECT_EQ(r1.checks, r2.checks);
+  EXPECT_EQ(r1.diffs, r2.diffs);
+}
+
+TEST(Differ, BugNamesRoundTrip) {
+  for (InjectedBug bug : {InjectedBug::kNone, InjectedBug::kGapExtend,
+                          InjectedBug::kDropOp, InjectedBug::kScoreOffByOne}) {
+    EXPECT_EQ(parse_bug(testing::bug_name(bug)), bug);
+  }
+  EXPECT_THROW(parse_bug("offby2"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fastz

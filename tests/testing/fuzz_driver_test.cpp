@@ -1,0 +1,97 @@
+// The fuzz loop: clean sweeps stay green, injected bugs surface with a
+// replay line and a minimized pair, and the wall-clock budget is honored.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "testing/fuzz.hpp"
+
+namespace fastz {
+namespace {
+
+using testing::FuzzOptions;
+using testing::FuzzSummary;
+using testing::InjectedBug;
+using testing::run_fuzz;
+
+TEST(FuzzLoop, CleanSweepHasNoDivergence) {
+  FuzzOptions options;
+  options.cases = 60;
+  options.first_seed = 4000;
+  const FuzzSummary summary = run_fuzz(options);
+  EXPECT_TRUE(summary.ok());
+  EXPECT_EQ(summary.cases_run, 60u);
+  EXPECT_GT(summary.checks, summary.cases_run);  // several checks per case
+}
+
+TEST(FuzzLoop, InjectedBugIsCaughtMinimizedAndReplayable) {
+  FuzzOptions options;
+  options.cases = 200;
+  options.first_seed = 1;
+  options.bug = InjectedBug::kGapExtend;
+  std::ostringstream log;
+  options.log = &log;
+  const FuzzSummary summary = run_fuzz(options);
+  ASSERT_FALSE(summary.ok()) << "gap-extend bug survived 200 cases";
+
+  const testing::FuzzFailure& failure = summary.failures.front();
+  EXPECT_FALSE(failure.diffs.empty());
+  EXPECT_EQ(failure.replay, testing::replay_command(failure.seed));
+  ASSERT_TRUE(failure.minimized);
+  EXPECT_LE(failure.minimized_a.size() + failure.minimized_b.size(), 16u);
+
+  // The printed report leads with the replay command (satellite: no silent
+  // nondeterministic failures).
+  const std::string report = log.str();
+  EXPECT_NE(report.find(failure.replay), std::string::npos);
+  EXPECT_NE(report.find("minimized a"), std::string::npos);
+
+  // Replaying the reported seed reproduces the divergence.
+  const FuzzSummary replayed = testing::replay_seed(failure.seed, options);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.failures.front().diffs, failure.diffs);
+}
+
+TEST(FuzzLoop, StopsAtFirstFailureByDefault) {
+  FuzzOptions options;
+  options.cases = 200;
+  options.bug = InjectedBug::kGapExtend;
+  const FuzzSummary summary = run_fuzz(options);
+  ASSERT_EQ(summary.failures.size(), 1u);
+  EXPECT_EQ(summary.cases_run, summary.failures.front().seed - options.first_seed + 1);
+}
+
+TEST(FuzzLoop, BudgetStopsEarly) {
+  FuzzOptions options;
+  options.cases = 1000000;  // would take hours without the budget
+  options.first_seed = 7000;
+  options.budget_s = 0.3;
+  const FuzzSummary summary = run_fuzz(options);
+  EXPECT_TRUE(summary.budget_exhausted);
+  EXPECT_LT(summary.cases_run, options.cases);
+  EXPECT_TRUE(summary.ok());
+}
+
+TEST(FuzzLoop, SummaryCountsKinds) {
+  FuzzOptions options;
+  options.cases = 80;
+  options.first_seed = 100;
+  const FuzzSummary summary = run_fuzz(options);
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : summary.by_kind) total += n;
+  EXPECT_EQ(total, summary.cases_run);
+}
+
+TEST(FuzzLoop, FormatFailureLeadsWithReplay) {
+  testing::FuzzFailure failure;
+  failure.seed = 99;
+  failure.kind = testing::CaseKind::kHomopolymer;
+  failure.replay = testing::replay_command(99);
+  failure.diffs = {"something diverged"};
+  const std::string text = testing::format_failure(failure);
+  EXPECT_NE(text.find("seed 99"), std::string::npos);
+  EXPECT_NE(text.find("replay: fastz_fuzz --replay seed=99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastz

@@ -1,0 +1,97 @@
+// The minimizer must shrink failing cases substantially, preserve the
+// failure, and be deterministic — a repro that changes between runs is no
+// repro at all.
+#include <gtest/gtest.h>
+
+#include "testing/differ.hpp"
+#include "testing/minimizer.hpp"
+
+namespace fastz {
+namespace {
+
+using testing::CaseKind;
+using testing::FuzzCase;
+using testing::InjectedBug;
+using testing::MinimizeOutcome;
+using testing::diff_case;
+using testing::make_case_of_kind;
+using testing::minimize_case;
+
+// A failing case the whole file shares: gap-extend mis-scoring surfaces on
+// any pair whose optimal path contains a gap.
+FuzzCase failing_case() {
+  for (std::uint64_t seed = 1; seed < 300; ++seed) {
+    FuzzCase c = make_case_of_kind(seed, CaseKind::kOneSidedRelated);
+    if (!diff_case(c, InjectedBug::kGapExtend).ok()) return c;
+  }
+  ADD_FAILURE() << "no seed exposed the gap-extend bug";
+  return {};
+}
+
+TEST(Minimizer, ShrinksAndPreservesFailure) {
+  const FuzzCase c = failing_case();
+  SCOPED_TRACE(testing::replay_command(c));
+  const MinimizeOutcome out = minimize_case(c, InjectedBug::kGapExtend);
+  EXPECT_LE(out.reduced.a.size(), c.a.size());
+  EXPECT_LE(out.reduced.b.size(), c.b.size());
+  // The smallest gap-scoring repro needs only a handful of bases.
+  EXPECT_LE(out.reduced.a.size() + out.reduced.b.size(), 16u);
+  EXPECT_FALSE(diff_case(out.reduced, InjectedBug::kGapExtend).ok())
+      << "minimized case no longer fails";
+  EXPECT_GT(out.probes, 0u);
+}
+
+TEST(Minimizer, ResultIsOneMinimal) {
+  const FuzzCase c = failing_case();
+  SCOPED_TRACE(testing::replay_command(c));
+  const FuzzCase reduced = minimize_case(c, InjectedBug::kGapExtend).reduced;
+  // Removing any single remaining base of A makes the failure vanish —
+  // that's what greedy-to-chunk-size-1 guarantees on convergence.
+  for (std::size_t k = 0; k < reduced.a.size(); ++k) {
+    FuzzCase probe = reduced;
+    std::vector<BaseCode> codes(reduced.a.codes().begin(), reduced.a.codes().end());
+    codes.erase(codes.begin() + static_cast<std::ptrdiff_t>(k));
+    probe.a = Sequence("a", std::move(codes));
+    EXPECT_TRUE(diff_case(probe, InjectedBug::kGapExtend).ok())
+        << "removing base " << k << " of A still fails: not 1-minimal";
+  }
+}
+
+TEST(Minimizer, Deterministic) {
+  const FuzzCase c = failing_case();
+  const MinimizeOutcome o1 = minimize_case(c, InjectedBug::kGapExtend);
+  const MinimizeOutcome o2 = minimize_case(c, InjectedBug::kGapExtend);
+  EXPECT_EQ(o1.reduced.a.to_string(), o2.reduced.a.to_string());
+  EXPECT_EQ(o1.reduced.b.to_string(), o2.reduced.b.to_string());
+  EXPECT_EQ(o1.probes, o2.probes);
+}
+
+TEST(Minimizer, RespectsProbeCap) {
+  const FuzzCase c = failing_case();
+  testing::MinimizeOptions opts;
+  opts.max_probes = 5;
+  const MinimizeOutcome out = minimize_case(c, InjectedBug::kGapExtend, opts);
+  EXPECT_LE(out.probes, 5u);
+  // Even truncated, the reduced case must still fail (we only keep
+  // failure-preserving removals).
+  EXPECT_FALSE(diff_case(out.reduced, InjectedBug::kGapExtend).ok());
+}
+
+TEST(Minimizer, CustomPredicate) {
+  // Minimizer is generic over the predicate, not tied to diff_case: shrink
+  // to the smallest sequence still containing at least three G bases.
+  FuzzCase c = make_case_of_kind(9, CaseKind::kOneSidedRandom);
+  auto has_three_gs = [](const FuzzCase& probe) {
+    std::size_t gs = 0;
+    for (std::size_t k = 0; k < probe.a.size(); ++k) gs += probe.a[k] == 2;
+    return gs >= 3;
+  };
+  if (!has_three_gs(c)) GTEST_SKIP() << "seed 9 lacks three Gs";
+  const MinimizeOutcome out = minimize_case(c, has_three_gs);
+  EXPECT_EQ(out.reduced.a.size(), 3u);
+  EXPECT_EQ(out.reduced.a.to_string(), "GGG");
+  EXPECT_EQ(out.reduced.b.size(), 0u);  // B is unconstrained, shrinks away
+}
+
+}  // namespace
+}  // namespace fastz
