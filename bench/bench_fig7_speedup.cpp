@@ -12,7 +12,9 @@
 #include <algorithm>
 #include <iostream>
 
+#include "gpusim/profiler.hpp"
 #include "report/experiment.hpp"
+#include "report/profile.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/cli.hpp"
@@ -31,11 +33,16 @@ int main(int argc, char** argv) {
   cli.add_flag("json", "write a BenchReport JSON to this path (empty: skip)",
                "BENCH_fig7.json");
   cli.add_flag("trace", "write a Chrome trace to this path (enables telemetry)", "");
+  cli.add_flag("profile",
+               "write a fastz.profile/v1 JSON of a profiled FastZ/Ampere sweep "
+               "to this path (empty: skip)",
+               "");
   if (!cli.parse(argc, argv)) return 0;
   const bool csv = cli.get_bool("csv");
   const int repeats = static_cast<int>(std::max<std::int64_t>(3, cli.get_int("repeats")));
   const std::string json_path = cli.get("json");
   const std::string trace_path = cli.get("trace");
+  const std::string profile_path = cli.get("profile");
   if (!trace_path.empty()) telemetry::set_enabled(true);
   const HarnessOptions options = harness_options_from(cli);
   const ScoreParams params = harness_score_params(options);
@@ -74,12 +81,33 @@ int main(int argc, char** argv) {
             << " repeats: min " << TextTable::num(wall_min * 1e3, 1) << " ms, median "
             << TextTable::num(wall_median * 1e3, 1) << " ms\n";
 
+  // Profiled sweep: one extra FastZ/Ampere derivation per pair under an
+  // installed ProfilerSession (kept out of the wallclock repeats above so
+  // the measured numbers stay profiling-free).
+  gpusim::ProfilerSession session;
+  if (!profile_path.empty()) {
+    const gpusim::ScopedProfiler scoped(session);
+    const DeviceSet devices = default_devices();
+    for (const PreparedPair& pair : prepared) {
+      (void)pair.study->derive(FastzConfig::full(), devices.ampere);
+    }
+    if (write_profile_file(profile_path, session, "fig7_speedup", "ampere")) {
+      std::cout << "wrote " << profile_path << "\n";
+    } else {
+      std::cerr << "failed to write " << profile_path << "\n";
+    }
+  }
+
   if (!json_path.empty()) {
     telemetry::BenchReport report = speedup_report(rows);
     report.set_repeats(repeats);
     add_harness_config(report, options);
     report.add_metric("wallclock_min_s", wall_min);
     report.add_metric("wallclock_median_s", wall_median);
+    if (!profile_path.empty()) {
+      report.add_metric("profile.eager_hit_rate", session.eager_hit_rate());
+      report.add_metric("profile.elision_ratio", session.score_elision_ratio());
+    }
     report.add_registry_counters(telemetry::MetricsRegistry::global());
     if (report.write_file(json_path)) {
       std::cout << "wrote " << json_path << "\n";

@@ -15,7 +15,9 @@
 #include <iostream>
 #include <vector>
 
+#include "gpusim/profiler.hpp"
 #include "report/experiment.hpp"
+#include "report/profile.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/cli.hpp"
@@ -32,10 +34,15 @@ int main(int argc, char** argv) {
   cli.add_flag("json", "write a BenchReport JSON to this path (empty: skip)",
                "BENCH_fig9.json");
   cli.add_flag("trace", "write a Chrome trace to this path (enables telemetry)", "");
+  cli.add_flag("profile",
+               "write a fastz.profile/v1 JSON of a profiled FastZ/Ampere sweep "
+               "to this path (empty: skip)",
+               "");
   if (!cli.parse(argc, argv)) return 0;
   const bool csv = cli.get_bool("csv");
   const std::string json_path = cli.get("json");
   const std::string trace_path = cli.get("trace");
+  const std::string profile_path = cli.get("profile");
   if (!trace_path.empty()) telemetry::set_enabled(true);
   const HarnessOptions options = harness_options_from(cli);
   const ScoreParams params = harness_score_params(options);
@@ -93,6 +100,24 @@ int main(int argc, char** argv) {
     report.add_metric(std::string(c.key) + ".ampere", ampere);
   }
   t.render(std::cout, csv);
+
+  // Profiled sweep of the full configuration on Ampere — the paper's
+  // headline counters (eager hit rate, elision ratio) ride along in the
+  // BenchReport so fastz_benchdiff gates them.
+  gpusim::ProfilerSession session;
+  if (!profile_path.empty()) {
+    const gpusim::ScopedProfiler scoped(session);
+    for (const PreparedPair& pair : prepared) {
+      (void)pair.study->derive(FastzConfig::full(), devices.ampere);
+    }
+    if (write_profile_file(profile_path, session, "fig9_ablation", "ampere")) {
+      std::cout << "wrote " << profile_path << "\n";
+    } else {
+      std::cerr << "failed to write " << profile_path << "\n";
+    }
+    report.add_metric("profile.eager_hit_rate", session.eager_hit_rate());
+    report.add_metric("profile.elision_ratio", session.score_elision_ratio());
+  }
 
   if (!json_path.empty()) {
     report.add_registry_counters(telemetry::MetricsRegistry::global());

@@ -1,9 +1,11 @@
 #include "fastz/fastz_pipeline.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 
 #include "fastz/strip_kernel.hpp"
+#include "gpusim/profiler.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/timer.hpp"
@@ -28,6 +30,25 @@ struct TaskAccumulator {
   std::vector<gpusim::WarpTask> tasks;
   gpusim::MemoryLedger ledger;
 };
+
+// Would-be full-matrix score traffic of a DP region — the counterfactual
+// the cyclic use-and-discard buffers are measured against.
+constexpr std::uint64_t kScoreBytesPerCell =
+    gpusim::kScoreReadBytesPerCell + gpusim::kScoreWriteBytesPerCell;
+
+// Cyclic-buffer materialization invariant: the kernel keeps only the three
+// live anti-diagonals of S/I/D in per-lane registers, and per warp step at
+// most one 12-byte boundary cell (a single lane's worth of one diagonal —
+// far less than the 3 x 36 B of live register state) reaches memory. A
+// violation means the accounting materialized score state the register
+// scheme says cannot exist, so it is a hard modeling error.
+void check_cyclic_materialization(std::uint64_t spill_bytes, std::uint64_t warp_steps) {
+  if (spill_bytes > warp_steps * gpusim::kBoundarySpillBytes) {
+    throw std::logic_error(
+        "cyclic-buffer path materialized more than one boundary cell per warp "
+        "step (> 3 anti-diagonals of live score state)");
+  }
+}
 
 // Registry export of one derive()'s outcome: modeled stage times, ledger
 // traffic, and the executor's per-bin work composition. Called only when
@@ -56,6 +77,8 @@ void record_derive(const FastzRun& run,
   reg.counter("fastz.ledger.traceback_wire_bytes").add(led.traceback_wire_bytes);
   reg.counter("fastz.ledger.sequence_bytes").add(led.sequence_bytes);
   reg.counter("fastz.ledger.host_copy_bytes").add(led.host_copy_bytes);
+  reg.counter("fastz.ledger.register_elided_bytes").add(led.register_elided_bytes);
+  reg.counter("fastz.ledger.shared_staged_bytes").add(led.shared_staged_bytes);
 
   for (std::size_t bin = 0; bin < bin_tasks.size(); ++bin) {
     if (bin_tasks[bin].empty()) continue;
@@ -165,11 +188,18 @@ FastzRun FastzStudy::derive(const FastzConfig& config, const gpusim::DeviceSpec&
   FastzRun run;
   run.config = config;
   const gpusim::KernelSimulator sim(device);
+  // Per-launch traffic attribution is only assembled while a profiler is
+  // installed; the unprofiled sweep skips every per-task ledger below.
+  gpusim::ProfilerSession* const prof = gpusim::ProfilerSession::active();
 
   // ---- Inspector kernels: every seed of this shard, chunked across
   // streams. ----------------------------------------------------------------
   TaskAccumulator insp;
   insp.tasks.reserve(seed_work_.size() / shard_count + 1);
+  // Parallel per-task ledgers, filled only when profiling: they roll up into
+  // per-chunk KernelTag::traffic after the chunk boundaries are known.
+  std::vector<gpusim::MemoryLedger> insp_task_traffic;
+  if (prof != nullptr) insp_task_traffic.reserve(insp.tasks.capacity());
   for (std::size_t idx = shard_index; idx < seed_work_.size(); idx += shard_count) {
     const SeedWork& work = seed_work_[idx];
     const SeedInspection& ins = work.inspection;
@@ -182,30 +212,56 @@ FastzRun FastzStudy::derive(const FastzConfig& config, const gpusim::DeviceSpec&
     task.warp_instructions = steps * gpusim::kOpsPerCell;
     const std::uint64_t seq_bytes = steps * kSequenceBytesPerStep;
     insp.ledger.sequence_bytes += seq_bytes;
+    std::uint64_t spill = 0, elided = 0, reads = 0, writes = 0;
     if (config.cyclic_buffers) {
-      const std::uint64_t spill =
-          (ins.left.geom.spill_cells + ins.right.geom.spill_cells) *
-          gpusim::kBoundarySpillBytes;
+      spill = (ins.left.geom.spill_cells + ins.right.geom.spill_cells) *
+              gpusim::kBoundarySpillBytes;
+      check_cyclic_materialization(spill, steps);
+      const std::uint64_t would_be = cells * kScoreBytesPerCell;
+      elided = would_be > spill ? would_be - spill : 0;
       insp.ledger.boundary_spill_bytes += spill;
+      insp.ledger.register_elided_bytes += elided;
       task.mem_bytes = spill + seq_bytes;
     } else {
-      const std::uint64_t reads = cells * gpusim::kScoreReadBytesPerCell;
-      const std::uint64_t writes = cells * gpusim::kScoreWriteBytesPerCell;
+      reads = cells * gpusim::kScoreReadBytesPerCell;
+      writes = cells * gpusim::kScoreWriteBytesPerCell;
       insp.ledger.score_read_bytes += reads;
       insp.ledger.score_write_bytes += writes;
       task.mem_bytes = reads + writes + seq_bytes;
     }
     insp.tasks.push_back(task);
+    if (prof != nullptr) {
+      gpusim::MemoryLedger task_led;
+      task_led.sequence_bytes = seq_bytes;
+      task_led.boundary_spill_bytes = spill;
+      task_led.register_elided_bytes = elided;
+      task_led.score_read_bytes = reads;
+      task_led.score_write_bytes = writes;
+      insp_task_traffic.push_back(task_led);
+    }
   }
 
   std::vector<std::vector<gpusim::WarpTask>> insp_chunks;
+  std::vector<gpusim::KernelTag> insp_tags;
   const std::size_t chunk = std::max<std::uint32_t>(config.inspector_chunk, 1);
+  gpusim::KernelTag insp_tag;
+  insp_tag.name = "inspector";
+  insp_tag.phase = "inspector";
+  insp_tag.shard = shard_index;
   for (std::size_t begin = 0; begin < insp.tasks.size(); begin += chunk) {
     const std::size_t end = std::min(insp.tasks.size(), begin + chunk);
     insp_chunks.emplace_back(insp.tasks.begin() + static_cast<std::ptrdiff_t>(begin),
                              insp.tasks.begin() + static_cast<std::ptrdiff_t>(end));
+    if (prof != nullptr) {
+      gpusim::KernelTag tag = insp_tag;
+      for (std::size_t k = begin; k < end; ++k) tag.traffic.merge(insp_task_traffic[k]);
+      insp_tags.push_back(std::move(tag));
+    }
   }
-  run.inspector_cost = sim.run_streamed(insp_chunks, config.streams);
+  run.inspector_cost = sim.run_streamed(
+      insp_chunks, config.streams,
+      prof != nullptr ? std::span<const gpusim::KernelTag>(insp_tags)
+                      : std::span<const gpusim::KernelTag>(&insp_tag, 1));
   run.ledger.merge(insp.ledger);
 
   // ---- Executor kernels: one task list per length bin. -------------------
@@ -218,6 +274,8 @@ FastzRun FastzStudy::derive(const FastzConfig& config, const gpusim::DeviceSpec&
   // batching makes visible.
   std::vector<std::vector<gpusim::WarpTask>> bin_tasks(config.bin_edges.size() + 1);
   std::vector<std::vector<std::uint64_t>> bin_allocs(config.bin_edges.size() + 1);
+  std::vector<std::vector<gpusim::MemoryLedger>> bin_traffic(
+      prof != nullptr ? bin_tasks.size() : 0);
   TaskAccumulator exec;
   for (std::size_t idx = shard_index; idx < seed_work_.size(); idx += shard_count) {
     const SeedWork& work = seed_work_[idx];
@@ -257,12 +315,18 @@ FastzRun FastzStudy::derive(const FastzConfig& config, const gpusim::DeviceSpec&
     exec.ledger.sequence_bytes += seq_bytes;
 
     std::uint64_t score_traffic;
+    std::uint64_t spill = 0, elided = 0, reads = 0, writes = 0;
     if (config.cyclic_buffers) {
-      score_traffic = geom.spill_cells * gpusim::kBoundarySpillBytes;
-      exec.ledger.boundary_spill_bytes += score_traffic;
+      spill = geom.spill_cells * gpusim::kBoundarySpillBytes;
+      check_cyclic_materialization(spill, geom.warp_steps);
+      const std::uint64_t would_be = cells * kScoreBytesPerCell;
+      elided = would_be > spill ? would_be - spill : 0;
+      exec.ledger.boundary_spill_bytes += spill;
+      exec.ledger.register_elided_bytes += elided;
+      score_traffic = spill;
     } else {
-      const std::uint64_t reads = cells * gpusim::kScoreReadBytesPerCell;
-      const std::uint64_t writes = cells * gpusim::kScoreWriteBytesPerCell;
+      reads = cells * gpusim::kScoreReadBytesPerCell;
+      writes = cells * gpusim::kScoreWriteBytesPerCell;
       exec.ledger.score_read_bytes += reads;
       exec.ledger.score_write_bytes += writes;
       score_traffic = reads + writes;
@@ -271,6 +335,7 @@ FastzRun FastzStudy::derive(const FastzConfig& config, const gpusim::DeviceSpec&
         config.staged_traceback_writes ? cells : cells * gpusim::kSectorBytes;
     exec.ledger.traceback_bytes += cells;
     exec.ledger.traceback_wire_bytes += tb_wire;
+    if (config.staged_traceback_writes) exec.ledger.shared_staged_bytes += cells;
 
     task.mem_bytes = score_traffic + tb_wire + seq_bytes;
     const std::size_t bin =
@@ -279,26 +344,62 @@ FastzRun FastzStudy::derive(const FastzConfig& config, const gpusim::DeviceSpec&
     // Device-resident footprint of this problem: its packed traceback
     // allocation (one byte per computed cell).
     bin_allocs[bin].push_back(cells);
+    if (prof != nullptr) {
+      gpusim::MemoryLedger task_led;
+      task_led.sequence_bytes = seq_bytes;
+      task_led.boundary_spill_bytes = spill;
+      task_led.register_elided_bytes = elided;
+      task_led.score_read_bytes = reads;
+      task_led.score_write_bytes = writes;
+      if (config.staged_traceback_writes) task_led.shared_staged_bytes = cells;
+      task_led.traceback_bytes = cells;
+      task_led.traceback_wire_bytes = tb_wire;
+      bin_traffic[bin].push_back(task_led);
+    }
   }
 
-  // Split bins into kernels honoring the device-memory budget.
+  // Split bins into kernels honoring the device-memory budget. Each kernel
+  // launch is tagged with its bin so the profiler and the Chrome trace can
+  // group executor work by length class.
   const std::uint64_t memory_budget = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(static_cast<double>(device.memory_bytes) * 0.6));
   std::vector<std::vector<gpusim::WarpTask>> exec_kernels;
+  std::vector<gpusim::KernelTag> exec_tags;
   for (std::size_t bin = 0; bin < bin_tasks.size(); ++bin) {
     if (bin_tasks[bin].empty()) continue;
+    std::vector<std::vector<gpusim::WarpTask>> batches;
+    std::vector<gpusim::MemoryLedger> batch_traffic;
     std::vector<gpusim::WarpTask> batch;
+    gpusim::MemoryLedger batch_led;
     std::uint64_t batch_bytes = 0;
     for (std::size_t k = 0; k < bin_tasks[bin].size(); ++k) {
       if (!batch.empty() && batch_bytes + bin_allocs[bin][k] > memory_budget) {
-        exec_kernels.push_back(std::move(batch));
+        batches.push_back(std::move(batch));
         batch.clear();
         batch_bytes = 0;
+        batch_traffic.push_back(batch_led);
+        batch_led = gpusim::MemoryLedger{};
       }
       batch.push_back(bin_tasks[bin][k]);
       batch_bytes += bin_allocs[bin][k];
+      if (prof != nullptr) batch_led.merge(bin_traffic[bin][k]);
     }
-    if (!batch.empty()) exec_kernels.push_back(std::move(batch));
+    if (!batch.empty()) {
+      batches.push_back(std::move(batch));
+      batch_traffic.push_back(batch_led);
+    }
+
+    for (std::size_t part = 0; part < batches.size(); ++part) {
+      gpusim::KernelTag tag;
+      tag.name = "executor.bin" + std::to_string(bin);
+      if (batches.size() > 1) tag.name += ".part" + std::to_string(part);
+      tag.phase = "executor";
+      tag.bin = static_cast<std::int32_t>(bin);
+      tag.shard = shard_index;
+      if (prof != nullptr) tag.traffic = batch_traffic[part];
+      exec_tags.push_back(std::move(tag));
+      exec_kernels.push_back(std::move(batches[part]));
+    }
   }
   run.executor_kernels = exec_kernels.size();
   std::size_t bins_used = 0;
@@ -307,7 +408,7 @@ FastzRun FastzStudy::derive(const FastzConfig& config, const gpusim::DeviceSpec&
   // allocation budget and cannot overlap — serialize the executor kernels.
   const std::uint32_t exec_streams =
       run.executor_kernels > bins_used ? 1 : config.streams;
-  run.executor_cost = sim.run_streamed(exec_kernels, exec_streams);
+  run.executor_cost = sim.run_streamed(exec_kernels, exec_streams, exec_tags);
   run.ledger.merge(exec.ledger);
 
   // ---- Host ("other") component. ------------------------------------------
@@ -324,6 +425,7 @@ FastzRun FastzStudy::derive(const FastzConfig& config, const gpusim::DeviceSpec&
                         static_cast<double>(run.seeds) * kHostPerSeed +
                         static_cast<double>(copy_bytes) / (device.pcie_bandwidth_gbps * 1e9);
   if (telemetry::enabled()) record_derive(run, bin_tasks, bin_allocs);
+  if (prof != nullptr) prof->note_seeds(run.seeds, run.eager_handled);
   return run;
 }
 

@@ -1,6 +1,9 @@
 #include "fastz/multi_gpu.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "telemetry/trace.hpp"
 
 namespace fastz::gpusim {
 
@@ -14,6 +17,12 @@ MultiGpuRun model_multi_gpu(const FastzStudy& study, const FastzConfig& config,
   const double single_s = study.derive(config, device).modeled.total_s();
 
   for (std::uint32_t shard = 0; shard < devices; ++shard) {
+    // Per-shard span: the profiler's kernel tags carry the shard id, the
+    // host timeline carries the matching derive interval.
+    telemetry::TraceSpan span(
+        telemetry::enabled() ? std::string("fastz.multi_gpu.shard") + std::to_string(shard)
+                             : std::string(),
+        "fastz");
     const FastzRun run = study.derive(config, device, devices, shard);
     out.per_device_s.push_back(run.modeled.total_s());
   }

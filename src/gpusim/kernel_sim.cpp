@@ -1,8 +1,11 @@
 #include "gpusim/kernel_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
+#include <utility>
 
+#include "gpusim/profiler.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -27,6 +30,22 @@ void record_kernel_cost(const KernelCost& cost) {
   reg.histogram("gpusim.kernel.tasks").record(cost.tasks);
 }
 
+// Profiled launches also surface as registry counters so a --trace/--json
+// bench run carries the profiler's aggregates without the profile file.
+void record_profiled_launch(const KernelProfile& profile) {
+  if (!telemetry::enabled()) return;
+  auto& reg = telemetry::MetricsRegistry::global();
+  reg.counter("gpusim.profile.kernels").add(1);
+  reg.counter("gpusim.profile.issued_warp_cycles")
+      .add(profile.counters.issued_warp_cycles);
+  reg.counter("gpusim.profile.stalled_warp_cycles")
+      .add(profile.counters.stalled_warp_cycles);
+  reg.histogram("gpusim.profile.occupancy_milli")
+      .record(static_cast<std::uint64_t>(profile.counters.achieved_occupancy * 1000.0));
+  reg.histogram("gpusim.profile.imbalance_milli")
+      .record(static_cast<std::uint64_t>(profile.counters.load_imbalance() * 1000.0));
+}
+
 }  // namespace
 
 double KernelSimulator::task_time_s(const WarpTask& task) const noexcept {
@@ -40,7 +59,14 @@ double KernelSimulator::task_time_s(const WarpTask& task) const noexcept {
   return instructions / warp_rate;
 }
 
-KernelCost KernelSimulator::run_kernel(std::span<const WarpTask> tasks) const {
+KernelCost KernelSimulator::simulate(std::span<const WarpTask> tasks,
+                                     HwCounters* counters) const {
+  if (counters != nullptr) return simulate_profiled(tasks, *counters);
+
+  // Unprofiled hot path, structurally identical to the pre-profiler code:
+  // the heap holds bare finish times (one word per slot, no slot ids, no
+  // per-iteration profiling branches). Keeping this loop lean is what holds
+  // the disabled-profiler overhead under the 2% budget.
   KernelCost cost;
   cost.tasks = tasks.size();
   cost.launch_overhead_s = spec_.kernel_launch_overhead_s;
@@ -79,17 +105,144 @@ KernelCost KernelSimulator::run_kernel(std::span<const WarpTask> tasks) const {
   cost.memory_time_s =
       static_cast<double>(cost.mem_bytes) / spec_.sustained_bandwidth_bytes_per_s();
   cost.time_s = std::max(cost.compute_time_s, cost.memory_time_s) + cost.launch_overhead_s;
-  if (telemetry::enabled()) record_kernel_cost(cost);
+  return cost;
+}
+
+KernelCost KernelSimulator::simulate_profiled(std::span<const WarpTask> tasks,
+                                              HwCounters& counters) const {
+  KernelCost cost;
+  cost.tasks = tasks.size();
+  cost.launch_overhead_s = spec_.kernel_launch_overhead_s;
+  if (tasks.empty()) {
+    cost.time_s = cost.launch_overhead_s;
+    counters.divergence_derate = spec_.divergence_derate;
+    counters.sm_busy_s.assign(spec_.sm_count, 0.0);
+    return cost;
+  }
+
+  // Same greedy list schedule as the unprofiled path, but the heap
+  // additionally carries the slot id so busy time lands on the right SM.
+  // Slot s lives on SM s % sm_count, so the initial round-robin spreads
+  // tasks across SMs before doubling up issue slots.
+  const std::uint32_t slots = slot_count();
+  std::vector<double> sm_busy(spec_.sm_count, 0.0);
+  std::vector<double> sm_finish(spec_.sm_count, 0.0);
+  using Slot = std::pair<double, std::uint32_t>;  // (finish time, slot id)
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> finish;
+  for (std::uint32_t s = 0; s < slots; ++s) finish.push({0.0, s});
+
+  double makespan = 0.0;
+  double busy_s = 0.0;
+  for (const WarpTask& task : tasks) {
+    const auto [start, slot] = finish.top();
+    finish.pop();
+    const double dt = task_time_s(task);
+    const double end = start + dt;
+    makespan = std::max(makespan, end);
+    finish.push({end, slot});
+    cost.warp_instructions += task.warp_instructions;
+    cost.mem_bytes += task.mem_bytes;
+    busy_s += dt;
+    const std::uint32_t sm = slot % spec_.sm_count;
+    sm_busy[sm] += dt;
+    sm_finish[sm] = std::max(sm_finish[sm], end);
+  }
+
+  const double derated_instructions =
+      static_cast<double>(cost.warp_instructions) * spec_.divergence_derate;
+  const double throughput_s = derated_instructions / spec_.sustained_warp_issue_per_s();
+  cost.compute_time_s = std::max(makespan, throughput_s);
+  cost.memory_time_s =
+      static_cast<double>(cost.mem_bytes) / spec_.sustained_bandwidth_bytes_per_s();
+  cost.time_s = std::max(cost.compute_time_s, cost.memory_time_s) + cost.launch_overhead_s;
+
+  counters.tasks = cost.tasks;
+  counters.warp_instructions = cost.warp_instructions;
+  counters.divergence_derate = spec_.divergence_derate;
+  counters.sm_busy_s = std::move(sm_busy);
+  // Issued cycles: one issue slot for one cycle per derated instruction.
+  counters.issued_warp_cycles = static_cast<std::uint64_t>(std::llround(derated_instructions));
+  // Stalls: every issue-slot cycle inside the kernel's span (makespan or
+  // whichever roofline stretched it) that did not retire an instruction —
+  // dependent-chain bubbles, tail idling, memory stalls.
+  const double span_s = cost.time_s - cost.launch_overhead_s;
+  const double span_cycles = span_s * spec_.clock_ghz * 1e9;
+  const double total_slot_cycles = span_cycles * static_cast<double>(slots);
+  counters.stalled_warp_cycles = static_cast<std::uint64_t>(std::llround(
+      std::max(0.0, total_slot_cycles - derated_instructions)));
+  // Occupancy: time-weighted fraction of issue slots holding a warp.
+  counters.achieved_occupancy =
+      span_s > 0.0 ? busy_s / (span_s * static_cast<double>(slots)) : 0.0;
+  // Bulk-synchronous tail: the earliest-finishing SM's wait at the
+  // kernel-end barrier.
+  double earliest = makespan;
+  for (const double f : sm_finish) earliest = std::min(earliest, f);
+  counters.tail_latency_s = makespan - earliest;
+  return cost;
+}
+
+KernelCost KernelSimulator::run_kernel(std::span<const WarpTask> tasks) const {
+  // Skip the KernelTag (two strings + a ledger) entirely while no profiler
+  // is installed — this overload sits on unprofiled hot paths.
+  if (ProfilerSession::active() == nullptr) {
+    const KernelCost cost = simulate(tasks, nullptr);
+    if (telemetry::enabled()) record_kernel_cost(cost);
+    return cost;
+  }
+  return run_kernel(tasks, KernelTag{});
+}
+
+KernelCost KernelSimulator::run_kernel(std::span<const WarpTask> tasks,
+                                       const KernelTag& tag) const {
+  ProfilerSession* session = ProfilerSession::active();
+  if (session == nullptr) {
+    const KernelCost cost = simulate(tasks, nullptr);
+    if (telemetry::enabled()) record_kernel_cost(cost);
+    return cost;
+  }
+
+  KernelProfile profile;
+  profile.tag = tag;
+  profile.cost = simulate(tasks, &profile.counters);
+  profile.counters.traffic = tag.traffic;
+  if (telemetry::enabled()) record_kernel_cost(profile.cost);
+  profile.start_s = session->now_s();
+  profile.end_s = profile.start_s + profile.cost.time_s;
+  session->advance(profile.cost.time_s);
+  record_profiled_launch(profile);
+  const KernelCost cost = profile.cost;
+  session->record(std::move(profile));
   return cost;
 }
 
 KernelCost KernelSimulator::run_streamed(const std::vector<std::vector<WarpTask>>& chunks,
                                          std::uint32_t streams) const {
+  return run_streamed(chunks, streams, {});
+}
+
+KernelCost KernelSimulator::run_streamed(const std::vector<std::vector<WarpTask>>& chunks,
+                                         std::uint32_t streams,
+                                         std::span<const KernelTag> tags) const {
+  auto chunk_tag = [&](std::size_t i) -> KernelTag {
+    if (tags.empty()) return KernelTag{};
+    return tags.size() == 1 ? tags.front() : tags[i];
+  };
+
+  ProfilerSession* session = ProfilerSession::active();
   KernelCost total;
   if (streams <= 1) {
     // Serialized chunks: every chunk pays its own bulk-synchronous tail.
-    for (const auto& chunk : chunks) {
-      const KernelCost c = run_kernel(chunk);
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      KernelCost c;
+      if (session == nullptr) {
+        c = simulate(chunks[i], nullptr);
+        if (telemetry::enabled()) record_kernel_cost(c);
+      } else {
+        KernelTag tag = chunk_tag(i);
+        tag.stream = 0;
+        if (tags.size() == 1 && i > 0) tag.traffic = MemoryLedger{};
+        c = run_kernel(chunks[i], tag);
+      }
       total.time_s += c.time_s;
       total.compute_time_s += c.compute_time_s;
       total.memory_time_s += c.memory_time_s;
@@ -115,7 +268,7 @@ KernelCost KernelSimulator::run_streamed(const std::vector<std::vector<WarpTask>
     return x.warp_instructions > y.warp_instructions;
   });
 
-  total = run_kernel(pooled);
+  total = simulate(pooled, nullptr);
   // Launch overheads stay per-chunk but overlap across streams.
   const std::size_t chunks_per_stream =
       (chunks.size() + streams - 1) / std::max<std::uint32_t>(streams, 1);
@@ -123,6 +276,42 @@ KernelCost KernelSimulator::run_streamed(const std::vector<std::vector<WarpTask>
                             static_cast<double>(std::max<std::size_t>(chunks_per_stream, 1));
   total.time_s = std::max(total.compute_time_s, total.memory_time_s) +
                  total.launch_overhead_s;
+  if (telemetry::enabled()) record_kernel_cost(total);
+
+  if (session != nullptr) {
+    // Per-chunk profiles on a per-stream timeline. Each chunk is costed
+    // standalone for its counters; intervals are then scaled so the longest
+    // stream lane spans exactly the pooled (overlapped) total — the
+    // timeline stays consistent with the modeled wall-clock.
+    const double base = session->now_s();
+    std::vector<double> cursor(streams, 0.0);
+    std::vector<KernelProfile> profiles;
+    profiles.reserve(chunks.size());
+    double longest = 0.0;
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      KernelProfile profile;
+      profile.tag = chunk_tag(i);
+      profile.tag.stream = static_cast<std::uint32_t>(i % streams);
+      // A shared base tag cannot split its traffic across chunks — attribute
+      // it once (first chunk) instead of duplicating it per launch.
+      if (tags.size() == 1 && i > 0) profile.tag.traffic = MemoryLedger{};
+      profile.cost = simulate(chunks[i], &profile.counters);
+      profile.counters.traffic = profile.tag.traffic;
+      profile.start_s = cursor[profile.tag.stream];
+      profile.end_s = profile.start_s + profile.cost.time_s;
+      cursor[profile.tag.stream] = profile.end_s;
+      longest = std::max(longest, profile.end_s);
+      profiles.push_back(std::move(profile));
+    }
+    const double scale = longest > 0.0 ? total.time_s / longest : 1.0;
+    for (KernelProfile& profile : profiles) {
+      profile.start_s = base + profile.start_s * scale;
+      profile.end_s = base + profile.end_s * scale;
+      record_profiled_launch(profile);
+      session->record(std::move(profile));
+    }
+    session->advance(total.time_s);
+  }
   return total;
 }
 

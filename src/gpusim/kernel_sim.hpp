@@ -18,6 +18,9 @@
 
 namespace fastz::gpusim {
 
+struct KernelTag;    // gpusim/profiler.hpp
+struct HwCounters;   // gpusim/profiler.hpp
+
 // Cost record of one warp's work, produced by actually executing the
 // functional kernel for one seed extension.
 struct WarpTask {
@@ -26,6 +29,11 @@ struct WarpTask {
   // Global-memory bytes this task moves.
   std::uint64_t mem_bytes = 0;
 };
+// The struct is deliberately two words: derive() builds, batches, pools,
+// and sorts vectors of these on its hot path, and growing it measurably
+// slows the unprofiled sweep. Per-level traffic attribution therefore
+// rides on the *launch* (KernelTag::traffic, filled only while a
+// ProfilerSession is installed), not on the task.
 
 struct KernelCost {
   double time_s = 0.0;          // max(compute makespan, memory roofline) + launch
@@ -45,16 +53,27 @@ class KernelSimulator {
 
   const DeviceSpec& spec() const noexcept { return spec_; }
 
-  // One bulk-synchronous kernel over `tasks`.
+  // One bulk-synchronous kernel over `tasks`. The tagged overload labels the
+  // launch for the profiler (gpusim/profiler.hpp); the untagged one uses a
+  // default tag. While a ProfilerSession is installed, each launch records
+  // per-kernel/per-SM HwCounters and its simulated-timeline interval.
   KernelCost run_kernel(std::span<const WarpTask> tasks) const;
+  KernelCost run_kernel(std::span<const WarpTask> tasks, const KernelTag& tag) const;
 
   // A sequence of kernels (chunks). With `streams == 1` the chunks are
   // serialized — each pays its own bulk-synchronous tail (the FastZ
   // single-stream ablation). With more streams, chunks overlap: tasks pool
   // into one schedule and only the launch overheads stay per-chunk
   // (Section 3.4, "Streams").
+  //
+  // `tags` labels the chunk launches: empty = default tags, one entry = the
+  // shared base tag for every chunk, otherwise one tag per chunk. Stream
+  // ids in the tags are overwritten with the simulator's round-robin stream
+  // assignment.
   KernelCost run_streamed(const std::vector<std::vector<WarpTask>>& chunks,
                           std::uint32_t streams) const;
+  KernelCost run_streamed(const std::vector<std::vector<WarpTask>>& chunks,
+                          std::uint32_t streams, std::span<const KernelTag> tags) const;
 
   // Execution slots the schedule distributes tasks over.
   std::uint32_t slot_count() const noexcept {
@@ -65,6 +84,14 @@ class KernelSimulator {
   double task_time_s(const WarpTask& task) const noexcept;
 
  private:
+  // Pure scheduling/cost computation. When `counters` is non-null (an
+  // installed ProfilerSession), also derives the modeled hardware counters
+  // — per-SM busy time, issued/stalled warp-cycles, achieved occupancy.
+  // The profiled variant lives in its own (cold) function so the unprofiled
+  // scheduling loop stays as small as it was before the profiler existed.
+  KernelCost simulate(std::span<const WarpTask> tasks, HwCounters* counters) const;
+  KernelCost simulate_profiled(std::span<const WarpTask> tasks, HwCounters& counters) const;
+
   DeviceSpec spec_;
 };
 

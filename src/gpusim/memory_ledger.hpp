@@ -27,10 +27,39 @@ struct MemoryLedger {
   std::uint64_t sequence_bytes = 0;
   // Host <-> device copies (seeds in, alignments out, sequences).
   std::uint64_t host_copy_bytes = 0;
+  // Per-level placement of the traffic (the Nsight-style memory hierarchy
+  // view the profiler reports). `register_elided_bytes` is score traffic
+  // that the cyclic use-and-discard buffers kept in per-lane registers —
+  // the would-be DRAM bytes the paper's Section 3.2 claims are eliminated.
+  // `shared_staged_bytes` is traceback traffic write-combined through the
+  // shared-memory staging line before reaching DRAM.
+  std::uint64_t register_elided_bytes = 0;
+  std::uint64_t shared_staged_bytes = 0;
 
   std::uint64_t device_bytes() const noexcept {
     return score_read_bytes + score_write_bytes + boundary_spill_bytes +
            traceback_wire_bytes + sequence_bytes;
+  }
+
+  // ---- Per-level view (registers / shared / L2 / DRAM). --------------------
+  // Score bytes that actually reached DRAM: the full-matrix read/write
+  // traffic (cyclic buffering off) plus the strip-boundary spills.
+  std::uint64_t materialized_score_bytes() const noexcept {
+    return score_read_bytes + score_write_bytes + boundary_spill_bytes;
+  }
+  // Sequence fetches are served from L2/texture (charged at a fraction by
+  // the roofline; accounted at this level by the profiler).
+  std::uint64_t l2_bytes() const noexcept { return sequence_bytes; }
+  std::uint64_t dram_bytes() const noexcept {
+    return materialized_score_bytes() + traceback_wire_bytes;
+  }
+  // Fraction of the score-matrix traffic that never left registers — the
+  // paper's ~96% elision claim (Section 3.2 / Section 6).
+  double score_elision_ratio() const noexcept {
+    const std::uint64_t total = register_elided_bytes + materialized_score_bytes();
+    return total == 0 ? 0.0
+                      : static_cast<double>(register_elided_bytes) /
+                            static_cast<double>(total);
   }
 
   void merge(const MemoryLedger& other) noexcept {
@@ -41,6 +70,8 @@ struct MemoryLedger {
     traceback_wire_bytes += other.traceback_wire_bytes;
     sequence_bytes += other.sequence_bytes;
     host_copy_bytes += other.host_copy_bytes;
+    register_elided_bytes += other.register_elided_bytes;
+    shared_staged_bytes += other.shared_staged_bytes;
   }
 };
 

@@ -1,0 +1,131 @@
+#include "gpusim/profiler.hpp"
+
+#include <algorithm>
+
+namespace fastz::gpusim {
+
+std::atomic<ProfilerSession*> ProfilerSession::active_{nullptr};
+
+double HwCounters::max_sm_busy_s() const noexcept {
+  double m = 0.0;
+  for (const double b : sm_busy_s) m = std::max(m, b);
+  return m;
+}
+
+double HwCounters::mean_sm_busy_s() const noexcept {
+  if (sm_busy_s.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double b : sm_busy_s) sum += b;
+  return sum / static_cast<double>(sm_busy_s.size());
+}
+
+double HwCounters::load_imbalance() const noexcept {
+  const double mean = mean_sm_busy_s();
+  return mean > 0.0 ? max_sm_busy_s() / mean : 1.0;
+}
+
+void HwCounters::merge(const HwCounters& other) {
+  // Task-weighted means for the per-kernel ratios; everything else sums.
+  const double total_tasks = static_cast<double>(tasks + other.tasks);
+  if (total_tasks > 0.0) {
+    achieved_occupancy = (achieved_occupancy * static_cast<double>(tasks) +
+                          other.achieved_occupancy * static_cast<double>(other.tasks)) /
+                         total_tasks;
+    divergence_derate = (divergence_derate * static_cast<double>(tasks) +
+                         other.divergence_derate * static_cast<double>(other.tasks)) /
+                        total_tasks;
+  }
+  tasks += other.tasks;
+  warp_instructions += other.warp_instructions;
+  issued_warp_cycles += other.issued_warp_cycles;
+  stalled_warp_cycles += other.stalled_warp_cycles;
+  tail_latency_s = std::max(tail_latency_s, other.tail_latency_s);
+  if (sm_busy_s.size() < other.sm_busy_s.size()) sm_busy_s.resize(other.sm_busy_s.size());
+  for (std::size_t i = 0; i < other.sm_busy_s.size(); ++i) {
+    sm_busy_s[i] += other.sm_busy_s[i];
+  }
+  traffic.merge(other.traffic);
+}
+
+ProfilerSession::~ProfilerSession() {
+  // Never leave a dangling active pointer behind.
+  ProfilerSession* self = this;
+  active_.compare_exchange_strong(self, nullptr, std::memory_order_relaxed);
+}
+
+void ProfilerSession::install() noexcept {
+  active_.store(this, std::memory_order_relaxed);
+}
+
+void ProfilerSession::uninstall() noexcept {
+  ProfilerSession* self = this;
+  active_.compare_exchange_strong(self, nullptr, std::memory_order_relaxed);
+}
+
+void ProfilerSession::record(KernelProfile profile) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  kernels_.push_back(std::move(profile));
+}
+
+double ProfilerSession::now_s() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return timeline_s_;
+}
+
+void ProfilerSession::advance(double dt) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  timeline_s_ += dt;
+}
+
+void ProfilerSession::note_seeds(std::uint64_t seeds, std::uint64_t eager_handled) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seeds_ += seeds;
+  eager_handled_ += eager_handled;
+}
+
+std::vector<KernelProfile> ProfilerSession::kernels() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return kernels_;
+}
+
+std::size_t ProfilerSession::kernel_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return kernels_.size();
+}
+
+std::uint64_t ProfilerSession::seeds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seeds_;
+}
+
+std::uint64_t ProfilerSession::eager_handled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return eager_handled_;
+}
+
+double ProfilerSession::eager_hit_rate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seeds_ == 0 ? 0.0
+                     : static_cast<double>(eager_handled_) / static_cast<double>(seeds_);
+}
+
+MemoryLedger ProfilerSession::traffic() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MemoryLedger total;
+  for (const KernelProfile& k : kernels_) total.merge(k.counters.traffic);
+  return total;
+}
+
+double ProfilerSession::score_elision_ratio() const {
+  return traffic().score_elision_ratio();
+}
+
+void ProfilerSession::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  kernels_.clear();
+  timeline_s_ = 0.0;
+  seeds_ = 0;
+  eager_handled_ = 0;
+}
+
+}  // namespace fastz::gpusim

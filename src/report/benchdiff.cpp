@@ -1,0 +1,171 @@
+#include "report/benchdiff.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/table.hpp"
+
+namespace fastz {
+
+namespace {
+
+using telemetry::JsonValue;
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool contains(std::string_view s, std::string_view needle) {
+  return s.find(needle) != std::string_view::npos;
+}
+
+void flatten_numeric(const JsonValue& value, const std::string& prefix,
+                     std::vector<std::pair<std::string, double>>& out) {
+  if (value.is_number()) {
+    out.emplace_back(prefix, value.as_number());
+    return;
+  }
+  if (value.is_object()) {
+    for (const auto& [key, member] : value.as_object()) {
+      flatten_numeric(member, prefix.empty() ? key : prefix + "." + key, out);
+    }
+  }
+  // Arrays (per-kernel rows, per-SM busy vectors) are deliberately not
+  // flattened: kernel counts may legitimately differ between runs, and the
+  // summary already aggregates them into stable keys.
+}
+
+}  // namespace
+
+bool is_time_metric(std::string_view key) {
+  return ends_with(key, "_s") || ends_with(key, "_ms") || ends_with(key, "_ns") ||
+         ends_with(key, "_us") || ends_with(key, "_cycles") || contains(key, "time") ||
+         contains(key, "wallclock");
+}
+
+std::vector<std::pair<std::string, double>> report_metrics(const JsonValue& doc,
+                                                           bool with_counters) {
+  std::vector<std::pair<std::string, double>> out;
+  if (!doc.is_object()) return out;
+
+  if (const JsonValue* metrics = doc.find("metrics"); metrics && metrics->is_object()) {
+    for (const auto& [key, value] : metrics->as_object()) {
+      if (value.is_number()) out.emplace_back(key, value.as_number());
+    }
+  }
+  if (const JsonValue* stages = doc.find("stages"); stages && stages->is_array()) {
+    for (const JsonValue& stage : stages->as_array()) {
+      const JsonValue* name = stage.find("name");
+      const JsonValue* seconds = stage.find("seconds");
+      if (name && name->is_string() && seconds && seconds->is_number()) {
+        out.emplace_back("stage." + name->as_string() + "_s", seconds->as_number());
+      }
+    }
+  }
+  if (const JsonValue* summary = doc.find("summary"); summary && summary->is_object()) {
+    flatten_numeric(*summary, "summary", out);
+  }
+  if (with_counters) {
+    if (const JsonValue* counters = doc.find("counters");
+        counters && counters->is_object()) {
+      for (const auto& [key, value] : counters->as_object()) {
+        if (value.is_number()) out.emplace_back("counter." + key, value.as_number());
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t DiffResult::regression_count() const noexcept {
+  std::size_t n = 0;
+  for (const MetricDiff& d : diffs) n += d.regression ? 1 : 0;
+  return n;
+}
+
+DiffResult diff_reports(const JsonValue& baseline, const JsonValue& current,
+                        const DiffRules& rules) {
+  const auto ignored = [&rules](const std::string& key) {
+    for (const std::string& needle : rules.ignore) {
+      if (contains(key, needle)) return true;
+    }
+    return false;
+  };
+
+  const auto base_metrics = report_metrics(baseline, rules.compare_counters);
+  const auto cur_metrics = report_metrics(current, rules.compare_counters);
+
+  DiffResult result;
+  for (const auto& [key, base_value] : base_metrics) {
+    if (ignored(key)) continue;
+    MetricDiff d;
+    d.key = key;
+    d.baseline = base_value;
+    d.time_like = is_time_metric(key);
+
+    const std::pair<std::string, double>* found = nullptr;
+    for (const auto& candidate : cur_metrics) {
+      if (candidate.first == key) {
+        found = &candidate;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      d.missing = true;
+      d.regression = !rules.allow_missing;
+      result.diffs.push_back(std::move(d));
+      continue;
+    }
+    d.current = found->second;
+
+    if (base_value != 0.0) {
+      d.rel_change = (d.current - base_value) / std::fabs(base_value);
+    } else if (d.current != 0.0) {
+      d.rel_change = d.current > 0.0 ? 1.0 : -1.0;
+    }
+    d.regression = d.time_like ? d.rel_change > rules.time_tolerance
+                               : d.rel_change < -rules.drop_tolerance;
+    result.diffs.push_back(std::move(d));
+  }
+
+  for (const auto& [key, value] : cur_metrics) {
+    (void)value;
+    if (ignored(key)) continue;
+    bool in_baseline = false;
+    for (const auto& base : base_metrics) in_baseline = in_baseline || base.first == key;
+    if (!in_baseline) result.added.push_back(key);
+  }
+
+  result.regressed = result.regression_count() > 0;
+  return result;
+}
+
+void print_diff(std::ostream& out, const DiffResult& result, bool verbose) {
+  TextTable table({"metric", "baseline", "current", "change", "status"});
+  for (const MetricDiff& d : result.diffs) {
+    const char* status = d.missing      ? "MISSING"
+                         : d.regression ? "REGRESSED"
+                         : d.rel_change == 0.0
+                             ? "ok"
+                             : (d.time_like ? d.rel_change < 0.0 : d.rel_change > 0.0)
+                                   ? "improved"
+                                   : "ok";
+    if (!verbose && !d.regression && !d.missing) continue;
+    table.add_row({d.key, TextTable::num(d.baseline, 6),
+                   d.missing ? "-" : TextTable::num(d.current, 6),
+                   d.missing ? "-" : TextTable::num(d.rel_change * 100.0, 2) + "%",
+                   status});
+  }
+  if (table.row_count() > 0) {
+    table.render(out);
+  }
+  const std::size_t regressions = result.regression_count();
+  out << result.diffs.size() << " metric(s) compared, " << regressions
+      << " regression(s)";
+  if (!result.added.empty()) out << ", " << result.added.size() << " new";
+  out << (regressions == 0 ? " — OK" : " — FAIL") << "\n";
+  if (verbose) {
+    for (const std::string& key : result.added) out << "  new metric: " << key << "\n";
+  }
+}
+
+}  // namespace fastz

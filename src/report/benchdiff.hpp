@@ -1,0 +1,74 @@
+// Regression diffing of machine-readable reports.
+//
+// Compares two `fastz.bench_report/v1` or `fastz.profile/v1` JSON documents
+// metric-by-metric and classifies every change against a rule set:
+//
+//   * time-like metrics (key ends in `_s`, `_ms`, `_ns`, `_us`, `_cycles`,
+//     or contains "time"/"wallclock") regress when the new value exceeds
+//     the baseline by more than `time_tolerance` (relative);
+//   * every other metric is treated as higher-is-better (speedups, hit
+//     rates, elision ratios, occupancy) and regresses when it drops below
+//     the baseline by more than `drop_tolerance` (relative);
+//   * metrics present in the baseline but missing from the current report
+//     regress unless `allow_missing` is set;
+//   * keys containing any `ignore` substring are skipped entirely (CI uses
+//     this for wallclock metrics — the modeled quantities are deterministic,
+//     host wallclock is not).
+//
+// This is the library behind the `fastz_benchdiff` CLI, which CI runs
+// against the checked-in `bench/baselines/` to gate perf regressions.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace fastz {
+
+struct DiffRules {
+  double time_tolerance = 0.10;  // allowed relative increase of time metrics
+  double drop_tolerance = 0.02;  // allowed relative drop of quality metrics
+  bool allow_missing = false;    // tolerate metrics absent from the current report
+  bool compare_counters = false; // also diff the "counters" block (exact-ish)
+  std::vector<std::string> ignore;  // substring filters on metric keys
+};
+
+// True when `key` is compared with the time rule (lower is better).
+bool is_time_metric(std::string_view key);
+
+struct MetricDiff {
+  std::string key;
+  double baseline = 0.0;
+  double current = 0.0;
+  double rel_change = 0.0;  // (current - baseline) / |baseline|; 0 if baseline == 0
+  bool time_like = false;
+  bool regression = false;
+  bool missing = false;  // present in baseline, absent in current
+};
+
+struct DiffResult {
+  std::vector<MetricDiff> diffs;  // baseline order; regressions flagged
+  std::vector<std::string> added;  // metrics only the current report has
+  bool regressed = false;
+
+  std::size_t regression_count() const noexcept;
+};
+
+// Extracts the comparable numeric metrics of a parsed report. Handles both
+// schemas: bench_report metrics/stages (+counters when `with_counters`) and
+// profile summary fields, all flattened to dotted keys.
+std::vector<std::pair<std::string, double>> report_metrics(
+    const telemetry::JsonValue& doc, bool with_counters);
+
+// Diffs two parsed documents under `rules`.
+DiffResult diff_reports(const telemetry::JsonValue& baseline,
+                        const telemetry::JsonValue& current,
+                        const DiffRules& rules);
+
+// Renders the diff as an aligned table (regressions marked), with a one-line
+// verdict. `verbose` also prints unchanged metrics.
+void print_diff(std::ostream& out, const DiffResult& result, bool verbose);
+
+}  // namespace fastz

@@ -1,0 +1,65 @@
+// fastz.profile/v1 — the virtual-GPU profiler's report surface.
+//
+// Turns a gpusim::ProfilerSession into the three consumer formats:
+//
+//   * a per-kernel text table (fastz_prof's stdout) with the paper's key
+//     per-kernel signals: achieved occupancy, load-imbalance factor across
+//     SMs, bulk-synchronous tail share, and score-traffic elision;
+//   * the machine-readable `fastz.profile/v1` JSON (docs/PROFILING.md has
+//     the schema), consumed by fastz_benchdiff's regression gate;
+//   * Chrome trace events on the virtual-GPU process lane (pid 2): one
+//     complete event per kernel on its stream's lane, plus occupancy /
+//     imbalance counter tracks — merged with the host-side TraceRecorder
+//     spans into one timeline.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "gpusim/profiler.hpp"
+#include "telemetry/trace.hpp"
+
+namespace fastz {
+
+inline constexpr std::string_view kProfileSchema = "fastz.profile/v1";
+
+// Session-level aggregates of the recorded kernels.
+struct ProfileSummary {
+  std::uint64_t kernels = 0;
+  std::uint64_t tasks = 0;
+  double total_time_s = 0.0;  // simulated timeline extent
+  std::uint64_t seeds = 0;
+  std::uint64_t eager_handled = 0;
+  double eager_hit_rate = 0.0;       // the paper's >80%
+  double score_elision_ratio = 0.0;  // the paper's ~96%
+  std::uint64_t issued_warp_cycles = 0;
+  std::uint64_t stalled_warp_cycles = 0;
+  double mean_occupancy = 0.0;      // kernel-span-weighted
+  double mean_load_imbalance = 0.0; // kernel-span-weighted
+  double max_load_imbalance = 1.0;
+  gpusim::MemoryLedger traffic;
+};
+
+ProfileSummary summarize_profile(const gpusim::ProfilerSession& session);
+
+// Per-kernel table + summary block, aligned or CSV.
+void print_profile(std::ostream& out, const gpusim::ProfilerSession& session,
+                   bool csv = false);
+
+// fastz.profile/v1 JSON for `session` as recorded on `device`.
+void write_profile_json(std::ostream& out, const gpusim::ProfilerSession& session,
+                        const std::string& name, const std::string& device);
+// Returns false when the file cannot be opened/written.
+bool write_profile_file(const std::string& path, const gpusim::ProfilerSession& session,
+                        const std::string& name, const std::string& device);
+
+// Kernel intervals and counter tracks as Chrome trace events (pid 2, one
+// tid lane per stream). `timeline_offset_us` places the simulated timeline
+// relative to the host trace's epoch (pass the wall-clock timestamp of the
+// derive sweep's start to line the two up).
+std::vector<telemetry::TraceEvent> profile_trace_events(
+    const gpusim::ProfilerSession& session, double timeline_offset_us = 0.0,
+    double time_scale = 1e6);
+
+}  // namespace fastz

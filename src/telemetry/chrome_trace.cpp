@@ -13,24 +13,43 @@ void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events
   w.key("traceEvents");
   w.begin_array();
 
-  // Process-name metadata event, so the timeline is labeled.
-  w.begin_object();
-  w.field("name", "process_name");
-  w.field("ph", "M");
-  w.field("pid", 1);
-  w.field("tid", 0);
-  w.key("args").begin_object().field("name", process_name).end_object();
-  w.end_object();
+  // Process-name metadata events, so every timeline lane group is labeled.
+  // pid 1 is the host process; pid 2 is reserved for the virtual-GPU
+  // profiler's modeled kernel timeline (see src/report/profile.hpp).
+  auto emit_process_name = [&](std::uint32_t pid, std::string_view name) {
+    w.begin_object();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", static_cast<std::uint64_t>(pid));
+    w.field("tid", 0);
+    w.key("args").begin_object().field("name", name).end_object();
+    w.end_object();
+  };
+  emit_process_name(1, process_name);
+  std::vector<std::uint32_t> named = {1};
+  for (const TraceEvent& e : events) {
+    bool seen = false;
+    for (const std::uint32_t pid : named) seen = seen || pid == e.pid;
+    if (seen) continue;
+    named.push_back(e.pid);
+    emit_process_name(e.pid, e.pid == 2 ? "virtual gpu (modeled)"
+                                        : "process " + std::to_string(e.pid));
+  }
 
   for (const TraceEvent& e : events) {
     w.begin_object();
     w.field("name", e.name);
     w.field("cat", e.category);
-    w.field("ph", "X");
+    w.field("ph", std::string_view(&e.phase, 1));
     w.field("ts", e.ts_us);
-    w.field("dur", e.dur_us);
-    w.field("pid", 1);
+    if (e.phase == 'X') w.field("dur", e.dur_us);
+    w.field("pid", static_cast<std::uint64_t>(e.pid));
     w.field("tid", static_cast<std::uint64_t>(e.tid));
+    if (!e.args.empty()) {
+      w.key("args").begin_object();
+      for (const auto& [k, v] : e.args) w.field(k, v);
+      w.end_object();
+    }
     w.end_object();
   }
 

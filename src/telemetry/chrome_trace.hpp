@@ -1,9 +1,12 @@
 // Chrome trace-event exporter.
 //
 // Serializes a TraceRecorder snapshot into the Trace Event Format JSON that
-// chrome://tracing and https://ui.perfetto.dev load directly. Every span is
-// a complete ("ph":"X") event on its recording thread's lane; timestamps
-// and durations are microseconds, as the format requires.
+// chrome://tracing and https://ui.perfetto.dev load directly. Host spans are
+// complete ("ph":"X") events on their recording thread's lane under pid 1;
+// timestamps and durations are microseconds, as the format requires. Events
+// may also carry a different pid (the virtual-GPU profiler uses pid 2 for
+// modeled kernel intervals), a counter phase ("ph":"C") whose args render
+// as counter tracks, and per-event args.
 #pragma once
 
 #include <ostream>

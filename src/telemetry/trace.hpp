@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
@@ -24,12 +25,20 @@
 namespace fastz::telemetry {
 
 // One completed span. Timestamps are microseconds since the recorder epoch.
+//
+// Host-side spans use the defaults (pid 1, complete event, no args). The
+// virtual-GPU profiler synthesizes events on its own process lane (pid 2)
+// with per-kernel args, and counter events (`phase` 'C') whose `args`
+// become the counter-track series of the Chrome trace.
 struct TraceEvent {
   std::string name;
   std::string category;
   double ts_us = 0.0;
   double dur_us = 0.0;
   std::uint32_t tid = 0;
+  std::uint32_t pid = 1;
+  char phase = 'X';  // 'X' complete span, 'C' counter sample
+  std::vector<std::pair<std::string, double>> args;
 };
 
 class TraceRecorder {

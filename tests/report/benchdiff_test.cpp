@@ -1,0 +1,181 @@
+#include "report/benchdiff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+
+namespace fastz {
+namespace {
+
+using telemetry::JsonValue;
+
+JsonValue bench_doc(double speedup, double hit_rate, double wall_s) {
+  std::ostringstream out;
+  out << "{\"schema\":\"fastz.bench_report/v1\",\"name\":\"t\",\"metrics\":{"
+      << "\"mean.ampere\":" << speedup << ",\"profile.eager_hit_rate\":"
+      << hit_rate << ",\"wallclock_min_s\":" << wall_s << "}}";
+  return JsonValue::parse(out.str());
+}
+
+const MetricDiff* find_diff(const DiffResult& result, std::string_view key) {
+  for (const MetricDiff& d : result.diffs) {
+    if (d.key == key) return &d;
+  }
+  return nullptr;
+}
+
+TEST(BenchDiff, TimeMetricClassification) {
+  EXPECT_TRUE(is_time_metric("wallclock_min_s"));
+  EXPECT_TRUE(is_time_metric("stage.executor_s"));
+  EXPECT_TRUE(is_time_metric("summary.total_time_s"));
+  EXPECT_TRUE(is_time_metric("kernel_time_ms"));
+  EXPECT_TRUE(is_time_metric("issued_warp_cycles"));
+  EXPECT_FALSE(is_time_metric("mean.ampere"));
+  EXPECT_FALSE(is_time_metric("profile.eager_hit_rate"));
+  EXPECT_FALSE(is_time_metric("score_elision_ratio"));
+}
+
+TEST(BenchDiff, IdenticalReportsPass) {
+  const JsonValue doc = bench_doc(111.0, 0.7, 0.05);
+  const DiffResult result = diff_reports(doc, doc, DiffRules{});
+  EXPECT_FALSE(result.regressed);
+  EXPECT_EQ(result.regression_count(), 0u);
+  EXPECT_EQ(result.diffs.size(), 3u);
+}
+
+TEST(BenchDiff, InjectedTimeSlowdownFails) {
+  // The ISSUE's acceptance check: a 20% time increase must trip the 10%
+  // tolerance gate.
+  const JsonValue base = bench_doc(111.0, 0.7, 0.050);
+  const JsonValue cur = bench_doc(111.0, 0.7, 0.060);
+  const DiffResult result = diff_reports(base, cur, DiffRules{});
+  EXPECT_TRUE(result.regressed);
+  const MetricDiff* wall = find_diff(result, "wallclock_min_s");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_TRUE(wall->time_like);
+  EXPECT_TRUE(wall->regression);
+  EXPECT_NEAR(wall->rel_change, 0.2, 1e-9);
+}
+
+TEST(BenchDiff, TimeWithinToleranceAndImprovementsPass) {
+  const JsonValue base = bench_doc(111.0, 0.7, 0.050);
+  // +8% wallclock (under the 10% tolerance), faster speedup, better hit rate.
+  const JsonValue cur = bench_doc(120.0, 0.75, 0.054);
+  const DiffResult result = diff_reports(base, cur, DiffRules{});
+  EXPECT_FALSE(result.regressed);
+}
+
+TEST(BenchDiff, QualityDropFails) {
+  const JsonValue base = bench_doc(111.0, 0.70, 0.05);
+  const JsonValue cur = bench_doc(111.0, 0.56, 0.05);  // -20% hit rate
+  const DiffResult result = diff_reports(base, cur, DiffRules{});
+  EXPECT_TRUE(result.regressed);
+  const MetricDiff* hit = find_diff(result, "profile.eager_hit_rate");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_FALSE(hit->time_like);
+  EXPECT_TRUE(hit->regression);
+
+  // A drop inside the 2% tolerance is fine.
+  const JsonValue near = bench_doc(111.0, 0.69, 0.05);
+  EXPECT_FALSE(diff_reports(base, near, DiffRules{}).regressed);
+}
+
+TEST(BenchDiff, IgnoreFilterSkipsKeys) {
+  const JsonValue base = bench_doc(111.0, 0.7, 0.050);
+  const JsonValue cur = bench_doc(111.0, 0.7, 0.100);  // 2x wallclock
+  DiffRules rules;
+  rules.ignore.push_back("wallclock");
+  const DiffResult result = diff_reports(base, cur, rules);
+  EXPECT_FALSE(result.regressed);
+  EXPECT_EQ(find_diff(result, "wallclock_min_s"), nullptr);
+}
+
+TEST(BenchDiff, MissingMetricRegressesUnlessAllowed) {
+  const JsonValue base = bench_doc(111.0, 0.7, 0.05);
+  const JsonValue cur = JsonValue::parse(
+      "{\"schema\":\"fastz.bench_report/v1\",\"name\":\"t\","
+      "\"metrics\":{\"mean.ampere\":111.0,\"wallclock_min_s\":0.05}}");
+  const DiffResult strict = diff_reports(base, cur, DiffRules{});
+  EXPECT_TRUE(strict.regressed);
+  const MetricDiff* hit = find_diff(strict, "profile.eager_hit_rate");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->missing);
+
+  DiffRules lax;
+  lax.allow_missing = true;
+  EXPECT_FALSE(diff_reports(base, cur, lax).regressed);
+}
+
+TEST(BenchDiff, AddedMetricsReportedButNeverRegress) {
+  const JsonValue base = JsonValue::parse(
+      "{\"metrics\":{\"mean.ampere\":111.0}}");
+  const JsonValue cur = bench_doc(111.0, 0.7, 0.05);
+  const DiffResult result = diff_reports(base, cur, DiffRules{});
+  EXPECT_FALSE(result.regressed);
+  EXPECT_EQ(result.added.size(), 2u);
+  EXPECT_NE(std::find(result.added.begin(), result.added.end(),
+                      "profile.eager_hit_rate"),
+            result.added.end());
+}
+
+TEST(BenchDiff, StagesAndProfileSummariesFlatten) {
+  const JsonValue bench = JsonValue::parse(
+      "{\"schema\":\"fastz.bench_report/v1\",\"stages\":["
+      "{\"name\":\"inspector\",\"seconds\":0.5},"
+      "{\"name\":\"executor\",\"seconds\":1.5}]}");
+  auto metrics = report_metrics(bench, /*with_counters=*/false);
+  ASSERT_EQ(metrics.size(), 2u);
+  EXPECT_EQ(metrics[0].first, "stage.inspector_s");
+  EXPECT_DOUBLE_EQ(metrics[0].second, 0.5);
+  EXPECT_EQ(metrics[1].first, "stage.executor_s");
+
+  const JsonValue profile = JsonValue::parse(
+      "{\"schema\":\"fastz.profile/v1\",\"summary\":{"
+      "\"kernels\":6,\"eager_hit_rate\":0.7,"
+      "\"traffic\":{\"dram_bytes\":128}},\"kernels\":[]}");
+  metrics = report_metrics(profile, false);
+  bool saw_hit = false, saw_traffic = false;
+  for (const auto& [key, value] : metrics) {
+    if (key == "summary.eager_hit_rate") {
+      saw_hit = true;
+      EXPECT_DOUBLE_EQ(value, 0.7);
+    }
+    if (key == "summary.traffic.dram_bytes") {
+      saw_traffic = true;
+      EXPECT_DOUBLE_EQ(value, 128.0);
+    }
+  }
+  EXPECT_TRUE(saw_hit);
+  EXPECT_TRUE(saw_traffic);
+}
+
+TEST(BenchDiff, CountersComparedOnlyWhenRequested) {
+  const JsonValue doc = JsonValue::parse(
+      "{\"metrics\":{\"mean.ampere\":1.0},"
+      "\"counters\":{\"gpusim.kernels_launched\":42}}");
+  EXPECT_EQ(report_metrics(doc, false).size(), 1u);
+  const auto with = report_metrics(doc, true);
+  ASSERT_EQ(with.size(), 2u);
+  EXPECT_EQ(with[1].first, "counter.gpusim.kernels_launched");
+}
+
+TEST(BenchDiff, PrintDiffRendersVerdict) {
+  const JsonValue base = bench_doc(111.0, 0.7, 0.050);
+  const JsonValue cur = bench_doc(111.0, 0.7, 0.075);
+  const DiffResult result = diff_reports(base, cur, DiffRules{});
+  std::ostringstream out;
+  print_diff(out, result, /*verbose=*/true);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("wallclock_min_s"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+
+  std::ostringstream ok;
+  print_diff(ok, diff_reports(base, base, DiffRules{}), false);
+  EXPECT_NE(ok.str().find("OK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastz
