@@ -48,6 +48,12 @@ struct PipelineOptions {
   // care position of the spaced seed (off here by default so seed counts
   // stay comparable with exact-match runs; see SeedIndex::find_hits).
   bool seed_transitions = false;
+  // Host worker threads for consumers that parallelize over seeds (the
+  // FastzStudy functional pass). 0 = auto (FASTZ_THREADS env, then
+  // hardware_concurrency); 1 = the serial code path. Results are
+  // bit-identical for every value — seeds are processed in any order but
+  // assembled in seed-index order (see docs/PERFORMANCE.md).
+  std::size_t threads = 0;
   OneSidedOptions one_sided;
   std::uint32_t index_step = 1;
 };

@@ -8,6 +8,7 @@
 #include "gpusim/profiler.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace fastz {
@@ -129,38 +130,63 @@ FastzStudy::FastzStudy(const Sequence& a, const Sequence& b, const ScoreParams& 
   }
 
   const FastzConfig functional = FastzConfig::full();
-  seed_work_.reserve(hits.size());
+  functional_threads_ = std::min<std::size_t>(resolve_thread_count(base.threads),
+                                              std::max<std::size_t>(1, hits.size()));
 
-  telemetry::TraceSpan loop_span("fastz.inspect_and_execute");
-  for (const SeedHit& hit : hits) {
-    SeedWork work;
+  // Per-seed worker: pure function of (sequences, hit, params) writing only
+  // its own seed_work_/executed slot, so any processing order is safe.
+  // Alignments that clear the threshold are parked per seed index and
+  // collected by the serial assembly loop below, never pushed concurrently.
+  seed_work_.resize(hits.size());
+  std::vector<Alignment> executed(hits.size());
+  auto process_seed = [&](std::size_t idx) {
+    SeedWork& work = seed_work_[idx];
     {
       telemetry::TraceSpan span("fastz.inspect_seed");
       work.inspection =
-          inspect_seed(a, b, hit, seed.span(), params, functional, base.one_sided);
+          inspect_seed(a, b, hits[idx], seed.span(), params, functional, base.one_sided);
     }
-    inspector_cells_ += work.inspection.search_cells();
-    if (telem) h_search_cells->record(work.inspection.search_cells());
-
     if (work.inspection.eager) {
-      if (telem) c_eager->add(1);
-      if (work.inspection.score >= params.gapped_threshold) {
-        work.has_alignment = true;
-        alignments_.push_back(work.inspection.alignment);
-      }
+      work.has_alignment = work.inspection.score >= params.gapped_threshold;
     } else {
       telemetry::TraceSpan span("fastz.execute_seed");
       ExecutorOutcome exec =
           execute_seed(a, b, work.inspection, params, functional, base.one_sided);
       work.trimmed_cells = exec.cells;
       work.trimmed_geom = exec.geom;
-      if (telem) h_trimmed_cells->record(exec.cells);
       if (exec.alignment.score >= params.gapped_threshold) {
         work.has_alignment = true;
-        alignments_.push_back(std::move(exec.alignment));
+        executed[idx] = std::move(exec.alignment);
       }
     }
-    seed_work_.push_back(std::move(work));
+  };
+
+  {
+    telemetry::TraceSpan loop_span("fastz.inspect_and_execute");
+    if (functional_threads_ <= 1) {
+      for (std::size_t idx = 0; idx < hits.size(); ++idx) process_seed(idx);
+    } else {
+      ThreadPool pool(functional_threads_);
+      pool.parallel_for(hits.size(), process_seed);
+    }
+  }
+
+  // Serial assembly in seed-index order: alignments_, the registry
+  // instruments, and inspector_cells_ see exactly the sequence the serial
+  // pass produced, so census, derive(), dedup, and golden numbers are
+  // bit-identical for every thread count. Workers above never touch the
+  // registry — per-seed metrics merge here, once, on one thread.
+  for (std::size_t idx = 0; idx < seed_work_.size(); ++idx) {
+    SeedWork& work = seed_work_[idx];
+    inspector_cells_ += work.inspection.search_cells();
+    if (telem) h_search_cells->record(work.inspection.search_cells());
+    if (work.inspection.eager) {
+      if (telem) c_eager->add(1);
+      if (work.has_alignment) alignments_.push_back(work.inspection.alignment);
+    } else {
+      if (telem) h_trimmed_cells->record(work.trimmed_cells);
+      if (work.has_alignment) alignments_.push_back(std::move(executed[idx]));
+    }
   }
 
   if (base.deduplicate) deduplicate_alignments(alignments_);

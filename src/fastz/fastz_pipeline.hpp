@@ -71,6 +71,12 @@ class FastzStudy {
   // every seed, execution of non-eager seeds (trimmed), and collection of
   // reported alignments (score >= params.gapped_threshold, deduplicated
   // per base.deduplicate).
+  //
+  // The per-seed inspect/execute loop runs on `base.threads` workers
+  // (0 = auto). Seeds are independent, and all ordered state — alignments,
+  // telemetry, cell totals — is assembled serially in seed-index order
+  // after the workers join, so every thread count yields bit-identical
+  // results (see docs/PERFORMANCE.md for the determinism argument).
   FastzStudy(const Sequence& a, const Sequence& b, const ScoreParams& params,
              const PipelineOptions& base = {});
 
@@ -90,6 +96,10 @@ class FastzStudy {
   // Census with the paper's default tile/bin boundaries.
   BinCensus census() const;
   double functional_wallclock_s() const noexcept { return functional_wallclock_s_; }
+  // Worker threads the functional pass actually ran with (after resolving
+  // base.threads == 0 via FASTZ_THREADS / hardware_concurrency and clamping
+  // to the seed count). Results are identical for every value.
+  std::size_t functional_threads() const noexcept { return functional_threads_; }
   std::uint64_t sequence_bytes() const noexcept { return sequence_bytes_; }
 
  private:
@@ -97,6 +107,7 @@ class FastzStudy {
   std::vector<Alignment> alignments_;
   std::uint64_t inspector_cells_ = 0;
   std::uint64_t sequence_bytes_ = 0;
+  std::size_t functional_threads_ = 1;
   double functional_wallclock_s_ = 0.0;
 };
 

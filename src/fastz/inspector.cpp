@@ -69,8 +69,13 @@ SideInspection inspect_side(SeqView a, SeqView b, const ScoreParams& params,
 std::vector<AlignOp> eager_side_ops(SeqView a, SeqView b, const BestCell& best,
                                     const ScoreParams& params) {
   if (best.i == 0 && best.j == 0) return {};
+  // Traceback on, divergence census off: the eager path consumes only the
+  // codes, so the tile runs the branch-light instantiation.
+  StripKernelOptions tile_opts;
+  tile_opts.want_traceback = true;
+  tile_opts.divergence_census = false;
   StripKernelResult tile = strip_rectangle_dp(a.prefix(best.i), b.prefix(best.j),
-                                              params, /*want_traceback=*/true);
+                                              params, tile_opts);
   const std::size_t stride = std::size_t{best.j} + 1;
   return walk_traceback(best.i, best.j, [&](std::uint32_t i, std::uint32_t j) {
     return tile.trace[std::size_t{i} * stride + j];

@@ -61,11 +61,39 @@ struct StripKernelResult {
   double mean_divergent_paths() const noexcept;
 };
 
+// Kernel variant switches. The score/geometry outputs (best, cells,
+// warp_steps, strips, boundary_spill_bytes) are identical across variants;
+// the switches only control which instrumentation the hot loop carries:
+//
+//   want_traceback    — allocate the dense trace buffer, emit packed codes,
+//                       and walk `ops` (the executor / eager-tile path).
+//   divergence_census — populate divergence_histogram. Pure profiling
+//                       output; the functional pipeline never consumes it,
+//                       so hot callers (the inspector's eager tile) turn it
+//                       off and the per-cell path-mask bookkeeping compiles
+//                       out of the lane loop entirely.
+struct StripKernelOptions {
+  bool want_traceback = false;
+  bool divergence_census = true;
+};
+
 // Computes the full (m+1) x (n+1) rectangle for A[0..m) x B[0..n).
 // `want_traceback` allocates the dense trace buffer, so m and n are capped
 // (throws std::invalid_argument beyond `kStripKernelMaxDim` with traceback).
 StripKernelResult strip_rectangle_dp(SeqView a, SeqView b, const ScoreParams& params,
+                                     const StripKernelOptions& opts);
+
+// Back-compat overload: census on, matching the original instrumented loop.
+StripKernelResult strip_rectangle_dp(SeqView a, SeqView b, const ScoreParams& params,
                                      bool want_traceback);
+
+// Original AoS formulation (struct-of-32-lanes registers, full-array
+// rotation copies, unconditional instrumentation). Differential oracle for
+// the SoA fast path and the baseline side of bench_functional_pass; not for
+// production callers.
+StripKernelResult strip_rectangle_dp_reference(SeqView a, SeqView b,
+                                               const ScoreParams& params,
+                                               bool want_traceback);
 
 inline constexpr std::uint32_t kStripKernelMaxDim = 4096;
 

@@ -1,10 +1,12 @@
 #include "report/experiment.hpp"
 
+#include <algorithm>
 #include <iostream>
 
 #include "baseline/feng_baseline.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace fastz {
@@ -16,6 +18,8 @@ void add_harness_flags(CliParser& cli) {
   cli.add_flag("sample-seed", "deterministic seed for seed-site sampling", "24397");
   cli.add_flag("ydrop", "gapped-extension y-drop (LASTZ default: 9400; harness scales "
                         "it with the chromosomes)", "2000");
+  cli.add_flag("threads", "functional-pass worker threads (0 = FASTZ_THREADS env, "
+                          "then hardware concurrency; 1 = serial)", "0");
   cli.add_flag("quiet", "suppress progress output on stderr", "0");
 }
 
@@ -25,6 +29,7 @@ HarnessOptions harness_options_from(const CliParser& cli) {
   options.max_seeds = static_cast<std::size_t>(cli.get_int("max-seeds"));
   options.sample_seed = static_cast<std::uint64_t>(cli.get_int("sample-seed"));
   options.ydrop = static_cast<Score>(cli.get_int("ydrop"));
+  options.threads = static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("threads")));
   options.verbose = !cli.get_bool("quiet");
   return options;
 }
@@ -49,13 +54,15 @@ std::vector<PreparedPair> prepare_pairs(const std::vector<BenchmarkPair>& pairs,
     PipelineOptions base;
     base.max_seeds = options.max_seeds;
     base.sample_seed = options.sample_seed;
+    base.threads = options.threads;
     p.study = std::make_unique<FastzStudy>(p.data.a, p.data.b, params, base);
 
     if (options.verbose) {
       std::cerr << "[harness] " << spec.label << ": " << p.data.a.size() << " x "
                 << p.data.b.size() << " bp, " << p.study->seeds() << " seeds, "
                 << p.study->inspector_cells() << " search cells ("
-                << TextTable::num(timer.elapsed_s(), 1) << " s)\n";
+                << TextTable::num(timer.elapsed_s(), 1) << " s, "
+                << p.study->functional_threads() << " thread(s))\n";
     }
     prepared.push_back(std::move(p));
   }
@@ -99,6 +106,7 @@ void add_harness_config(telemetry::BenchReport& report, const HarnessOptions& op
   report.add_config("max_seeds", std::to_string(options.max_seeds));
   report.add_config("sample_seed", std::to_string(options.sample_seed));
   report.add_config("ydrop", std::to_string(options.ydrop));
+  report.add_config("threads", std::to_string(resolve_thread_count(options.threads)));
 }
 
 telemetry::BenchReport breakdown_report(const std::vector<PreparedPair>& prepared,

@@ -34,6 +34,11 @@ struct HarnessOptions {
   // paper's 1M-seed runs spend GPU-hours on). Pass --ydrop 9400 for the
   // paper's exact parameterization.
   Score ydrop = 2000;
+  // Functional-pass worker threads (PipelineOptions::threads): 0 = auto
+  // (FASTZ_THREADS env, then hardware_concurrency), 1 = serial. The
+  // modeled numbers are thread-count-invariant; only harness wallclock
+  // changes.
+  std::size_t threads = 0;
   bool verbose = true;  // progress lines on stderr
 };
 

@@ -7,6 +7,7 @@
 // Exit code 0 when no divergence is found (or one was found and
 // --expect-divergence is set); 1 otherwise. Every failure report leads with
 // the copy-pasteable replay command.
+#include <algorithm>
 #include <iostream>
 
 #include "testing/fuzz.hpp"
@@ -50,6 +51,10 @@ int main(int argc, char** argv) {
   cli.add_flag("expect-divergence",
                "exit 0 only if a divergence IS found (harness self-test)", "0");
   cli.add_flag("minimize", "shrink the first failing case", "1");
+  cli.add_flag("threads",
+               "functional-pass worker threads for pipeline cases (0 = "
+               "FASTZ_THREADS env, then hardware concurrency; 1 = serial)",
+               "0");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -60,6 +65,7 @@ int main(int argc, char** argv) {
     options.budget_s = cli.get_double("budget-s");
     options.bug = fastz::testing::parse_bug(cli.get("inject-bug"));
     options.minimize = cli.get_bool("minimize");
+    options.threads = static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("threads")));
     options.log = &std::cout;
     const bool expect_divergence = cli.get_bool("expect-divergence");
 

@@ -26,7 +26,8 @@ FuzzFailure build_failure(const FuzzCase& c, DiffResult diff, const FuzzOptions&
 }
 
 void run_one(std::uint64_t seed, const FuzzOptions& options, FuzzSummary& summary) {
-  const FuzzCase c = make_case(seed);
+  FuzzCase c = make_case(seed);
+  c.pipeline.threads = options.threads;  // outputs are thread-count-invariant
   DiffResult diff = diff_case(c, options.bug);
   ++summary.cases_run;
   summary.checks += diff.checks;

@@ -25,6 +25,10 @@ struct FuzzOptions {
   InjectedBug bug = InjectedBug::kNone;
   bool minimize = true;             // shrink the first failing case
   bool stop_on_failure = true;      // stop at the first divergence
+  // Functional-pass worker threads for the pipeline-kind cases
+  // (PipelineOptions::threads): 0 = auto (FASTZ_THREADS env, then hardware
+  // concurrency), 1 = serial. Case results are thread-count-invariant.
+  std::size_t threads = 0;
   std::ostream* log = nullptr;      // progress + failure reports (null = silent)
 };
 

@@ -1,11 +1,25 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
+#include <string>
 
 #include "telemetry/trace.hpp"
 
 namespace fastz {
+
+std::size_t resolve_thread_count(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("FASTZ_THREADS"); env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {

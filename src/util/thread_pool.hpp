@@ -17,6 +17,13 @@
 
 namespace fastz {
 
+// Resolves a thread-count request shared by every `--threads` knob:
+// nonzero requests pass through unchanged; 0 ("auto") consults the
+// FASTZ_THREADS environment variable (positive integer) and falls back to
+// hardware_concurrency (at least 1). Malformed FASTZ_THREADS values are
+// ignored rather than trusted.
+std::size_t resolve_thread_count(std::size_t requested) noexcept;
+
 class ThreadPool {
  public:
   // `threads == 0` means hardware_concurrency (at least 1).

@@ -1,0 +1,148 @@
+// Determinism of the parallel functional pass.
+//
+// FastzStudy runs its per-seed inspect/execute loop on a thread pool, but
+// assembles every ordered output serially in seed-index order, so the
+// results must be bit-identical for every thread count. These tests pin
+// that guarantee across the fuzz corpus's case kinds, and check that a
+// shared study tolerates concurrent derive() calls (derive is const and
+// reads only immutable per-seed metrics).
+#include "fastz/fastz_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "testing/corpus.hpp"
+
+namespace fastz {
+namespace {
+
+using testing::CaseKind;
+using testing::kCaseKindCount;
+using testing::make_case_of_kind;
+
+void expect_same_alignments(const std::vector<Alignment>& serial,
+                            const std::vector<Alignment>& parallel,
+                            const std::string& label) {
+  ASSERT_EQ(serial.size(), parallel.size()) << label;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const Alignment& s = serial[i];
+    const Alignment& p = parallel[i];
+    EXPECT_EQ(s.a_begin, p.a_begin) << label << " alignment " << i;
+    EXPECT_EQ(s.a_end, p.a_end) << label << " alignment " << i;
+    EXPECT_EQ(s.b_begin, p.b_begin) << label << " alignment " << i;
+    EXPECT_EQ(s.b_end, p.b_end) << label << " alignment " << i;
+    EXPECT_EQ(s.score, p.score) << label << " alignment " << i;
+    EXPECT_EQ(s.ops, p.ops) << label << " alignment " << i;
+  }
+}
+
+void expect_same_run(const FastzRun& serial, const FastzRun& parallel,
+                     const std::string& label) {
+  EXPECT_EQ(serial.modeled.inspector_s, parallel.modeled.inspector_s) << label;
+  EXPECT_EQ(serial.modeled.executor_s, parallel.modeled.executor_s) << label;
+  EXPECT_EQ(serial.modeled.other_s, parallel.modeled.other_s) << label;
+  EXPECT_EQ(serial.seeds, parallel.seeds) << label;
+  EXPECT_EQ(serial.eager_handled, parallel.eager_handled) << label;
+  EXPECT_EQ(serial.executor_tasks, parallel.executor_tasks) << label;
+  EXPECT_EQ(serial.executor_kernels, parallel.executor_kernels) << label;
+  EXPECT_EQ(serial.inspector_cells, parallel.inspector_cells) << label;
+  EXPECT_EQ(serial.executor_cells, parallel.executor_cells) << label;
+  EXPECT_EQ(serial.census.total, parallel.census.total) << label;
+  EXPECT_EQ(serial.census.eager, parallel.census.eager) << label;
+  EXPECT_EQ(serial.census.bins, parallel.census.bins) << label;
+  EXPECT_EQ(serial.census.overflow, parallel.census.overflow) << label;
+  EXPECT_EQ(serial.ledger.score_read_bytes, parallel.ledger.score_read_bytes) << label;
+  EXPECT_EQ(serial.ledger.score_write_bytes, parallel.ledger.score_write_bytes) << label;
+  EXPECT_EQ(serial.ledger.boundary_spill_bytes, parallel.ledger.boundary_spill_bytes)
+      << label;
+  EXPECT_EQ(serial.ledger.traceback_bytes, parallel.ledger.traceback_bytes) << label;
+  EXPECT_EQ(serial.ledger.traceback_wire_bytes, parallel.ledger.traceback_wire_bytes)
+      << label;
+  EXPECT_EQ(serial.ledger.host_copy_bytes, parallel.ledger.host_copy_bytes) << label;
+  EXPECT_EQ(serial.ledger.register_elided_bytes, parallel.ledger.register_elided_bytes)
+      << label;
+  EXPECT_EQ(serial.ledger.shared_staged_bytes, parallel.ledger.shared_staged_bytes)
+      << label;
+}
+
+TEST(ParallelPass, ThreadCountsYieldIdenticalResultsAcrossCorpusKinds) {
+  const gpusim::DeviceSpec device = gpusim::rtx3080_ampere();
+  const FastzConfig config = FastzConfig::full();
+  for (std::size_t k = 0; k < kCaseKindCount; ++k) {
+    const CaseKind kind = static_cast<CaseKind>(k);
+    for (std::uint64_t seed : {11ull, 202ull}) {
+      const auto c = make_case_of_kind(seed, kind);
+      const std::string label = std::string(testing::case_kind_name(kind)) +
+                                " seed=" + std::to_string(seed);
+
+      PipelineOptions serial_opts = c.pipeline;
+      serial_opts.threads = 1;
+      PipelineOptions parallel_opts = c.pipeline;
+      parallel_opts.threads = 4;
+
+      const FastzStudy serial(c.a, c.b, c.params, serial_opts);
+      const FastzStudy parallel(c.a, c.b, c.params, parallel_opts);
+
+      EXPECT_EQ(serial.functional_threads(), 1u) << label;
+      EXPECT_EQ(serial.seeds(), parallel.seeds()) << label;
+      EXPECT_EQ(serial.inspector_cells(), parallel.inspector_cells()) << label;
+      expect_same_alignments(serial.alignments(), parallel.alignments(), label);
+
+      const BinCensus cs = serial.census();
+      const BinCensus cp = parallel.census();
+      EXPECT_EQ(cs.total, cp.total) << label;
+      EXPECT_EQ(cs.eager, cp.eager) << label;
+      EXPECT_EQ(cs.bins, cp.bins) << label;
+      EXPECT_EQ(cs.overflow, cp.overflow) << label;
+
+      expect_same_run(serial.derive(config, device), parallel.derive(config, device),
+                      label);
+    }
+  }
+}
+
+TEST(ParallelPass, WorkerCountClampsToSeedCount) {
+  // A pair with no seed hits must not spin up idle workers.
+  const auto c = make_case_of_kind(5, CaseKind::kDegenerate);
+  PipelineOptions opts = c.pipeline;
+  opts.threads = 8;
+  const FastzStudy study(c.a, c.b, c.params, opts);
+  EXPECT_LE(study.functional_threads(),
+            std::max<std::uint64_t>(1, study.seeds()));
+  EXPECT_GE(study.functional_threads(), 1u);
+}
+
+TEST(ParallelPass, ConcurrentDeriveMatchesSerialDerive) {
+  // derive() is const and reads only the immutable per-seed metrics, so two
+  // threads deriving different configs from one shared study must see the
+  // same numbers a serial caller does.
+  const auto c = make_case_of_kind(99, CaseKind::kPipeline);
+  PipelineOptions opts = c.pipeline;
+  opts.threads = 2;
+  const FastzStudy study(c.a, c.b, c.params, opts);
+
+  const gpusim::DeviceSpec ampere = gpusim::rtx3080_ampere();
+  const gpusim::DeviceSpec volta = gpusim::v100_volta();
+  const FastzConfig full = FastzConfig::full();
+  const FastzConfig lb = FastzConfig::load_balance_only();
+
+  const FastzRun expect_full = study.derive(full, ampere);
+  const FastzRun expect_lb = study.derive(lb, volta);
+
+  FastzRun got_full;
+  FastzRun got_lb;
+  std::thread t1([&] { got_full = study.derive(full, ampere); });
+  std::thread t2([&] { got_lb = study.derive(lb, volta); });
+  t1.join();
+  t2.join();
+
+  expect_same_run(expect_full, got_full, "full/ampere");
+  expect_same_run(expect_lb, got_lb, "load_balance_only/volta");
+}
+
+}  // namespace
+}  // namespace fastz

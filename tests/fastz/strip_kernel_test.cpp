@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "align/gotoh_reference.hpp"
 #include "testing/test_sequences.hpp"
 
@@ -128,6 +131,100 @@ TEST(StripKernel, IdenticalSequencesBarelyDiverge) {
                                             SeqView(b.codes().data(), 1, b.size()), p,
                                             false);
   EXPECT_LT(self.mean_divergent_paths(), unrelated.mean_divergent_paths());
+}
+
+// ---- SoA fast path vs the original AoS formulation -------------------------
+//
+// strip_rectangle_dp is the SoA pointer-rotated rewrite;
+// strip_rectangle_dp_reference is the original AoS loop kept as the oracle.
+// The rewrite must be indistinguishable in every output the pipeline or the
+// profiler consumes: best cell, traceback, cells, warp_steps,
+// divergence_histogram, boundary_spill_bytes.
+
+void expect_identical(const StripKernelResult& soa, const StripKernelResult& aos,
+                      const std::string& label) {
+  EXPECT_EQ(soa.best.score, aos.best.score) << label;
+  EXPECT_EQ(soa.best.i, aos.best.i) << label;
+  EXPECT_EQ(soa.best.j, aos.best.j) << label;
+  EXPECT_EQ(soa.cells, aos.cells) << label;
+  EXPECT_EQ(soa.warp_steps, aos.warp_steps) << label;
+  EXPECT_EQ(soa.strips, aos.strips) << label;
+  EXPECT_EQ(soa.boundary_spill_bytes, aos.boundary_spill_bytes) << label;
+  EXPECT_EQ(soa.divergence_histogram, aos.divergence_histogram) << label;
+  EXPECT_EQ(soa.trace, aos.trace) << label;
+  EXPECT_EQ(soa.ops, aos.ops) << label;
+}
+
+TEST(StripKernelSoA, MatchesAosReferenceCellForCell) {
+  for (std::uint64_t seed = 1; seed < 12; ++seed) {
+    auto [a, b] = related_pair(200, 0.8, seed);
+    // Mix of square, wide, tall, and strip-boundary shapes.
+    const std::size_t rows = std::min<std::size_t>(a.size(), 20 + (seed * 37) % 150);
+    const std::size_t cols = std::min<std::size_t>(b.size(), 20 + (seed * 53) % 150);
+    const ScoreParams p = seed % 2 == 0 ? lastz_default_params() : test_params();
+    const SeqView va(a.codes().data(), 1, rows);
+    const SeqView vb(b.codes().data(), 1, cols);
+    const bool trace = rows <= kStripKernelMaxDim && cols <= kStripKernelMaxDim;
+    expect_identical(strip_rectangle_dp(va, vb, p, trace),
+                     strip_rectangle_dp_reference(va, vb, p, trace),
+                     "seed=" + std::to_string(seed));
+  }
+}
+
+TEST(StripKernelSoA, MatchesAosReferenceOnBoundaryShapes) {
+  const ScoreParams p = lastz_default_params();
+  for (std::size_t n : {1u, 31u, 32u, 33u, 64u, 65u, 96u, 127u}) {
+    auto [a, b] = related_pair(n, 0.85, 7000 + n);
+    const SeqView va(a.codes().data(), 1, a.size());
+    const SeqView vb(b.codes().data(), 1, b.size());
+    expect_identical(strip_rectangle_dp(va, vb, p, true),
+                     strip_rectangle_dp_reference(va, vb, p, true),
+                     "n=" + std::to_string(n));
+  }
+}
+
+TEST(StripKernelSoA, CensusOffVariantKeepsScoreOutputs) {
+  // The branch-light instantiation (census compiled out) must change only
+  // the histogram — never the DP outputs or geometry counters.
+  auto [a, b] = related_pair(150, 0.8, 77);
+  const ScoreParams p = lastz_default_params();
+  const SeqView va(a.codes().data(), 1, a.size());
+  const SeqView vb(b.codes().data(), 1, b.size());
+
+  StripKernelOptions instrumented;
+  instrumented.want_traceback = true;
+  StripKernelOptions fast;
+  fast.want_traceback = true;
+  fast.divergence_census = false;
+
+  const auto full = strip_rectangle_dp(va, vb, p, instrumented);
+  const auto lean = strip_rectangle_dp(va, vb, p, fast);
+  EXPECT_EQ(lean.best.score, full.best.score);
+  EXPECT_EQ(lean.best.i, full.best.i);
+  EXPECT_EQ(lean.best.j, full.best.j);
+  EXPECT_EQ(lean.cells, full.cells);
+  EXPECT_EQ(lean.warp_steps, full.warp_steps);
+  EXPECT_EQ(lean.boundary_spill_bytes, full.boundary_spill_bytes);
+  EXPECT_EQ(lean.trace, full.trace);
+  EXPECT_EQ(lean.ops, full.ops);
+  for (auto v : lean.divergence_histogram) EXPECT_EQ(v, 0u);
+  EXPECT_GT(full.mean_divergent_paths(), 0.0);
+}
+
+TEST(StripKernelSoA, ScoreOnlyVariantSkipsTraceAllocation) {
+  auto [a, b] = related_pair(100, 0.8, 55);
+  const ScoreParams p = test_params();
+  const SeqView va(a.codes().data(), 1, a.size());
+  const SeqView vb(b.codes().data(), 1, b.size());
+  StripKernelOptions score_only;
+  score_only.divergence_census = false;
+  const auto r = strip_rectangle_dp(va, vb, p, score_only);
+  EXPECT_TRUE(r.trace.empty());
+  EXPECT_TRUE(r.ops.empty());
+  const auto ref = reference_extend(a.codes(), b.codes(), p);
+  EXPECT_EQ(r.best.score, ref.best.score);
+  EXPECT_EQ(r.best.i, ref.best.i);
+  EXPECT_EQ(r.best.j, ref.best.j);
 }
 
 TEST(StripKernel, ReverseViewsWork) {

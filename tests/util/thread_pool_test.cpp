@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -121,6 +122,47 @@ TEST(ThreadPool, SumIsDeterministic) {
 TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
   ThreadPool pool;
   EXPECT_GE(pool.size(), 1u);
+}
+
+class ResolveThreadCount : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* prev = std::getenv("FASTZ_THREADS");
+    if (prev != nullptr) saved_ = prev;
+    unsetenv("FASTZ_THREADS");
+  }
+  void TearDown() override {
+    if (saved_.empty()) {
+      unsetenv("FASTZ_THREADS");
+    } else {
+      setenv("FASTZ_THREADS", saved_.c_str(), 1);
+    }
+  }
+  std::string saved_;
+};
+
+TEST_F(ResolveThreadCount, ExplicitRequestPassesThrough) {
+  EXPECT_EQ(resolve_thread_count(1), 1u);
+  EXPECT_EQ(resolve_thread_count(7), 7u);
+  // An explicit request wins even when the env var disagrees.
+  setenv("FASTZ_THREADS", "3", 1);
+  EXPECT_EQ(resolve_thread_count(7), 7u);
+}
+
+TEST_F(ResolveThreadCount, AutoConsultsEnvironment) {
+  setenv("FASTZ_THREADS", "6", 1);
+  EXPECT_EQ(resolve_thread_count(0), 6u);
+}
+
+TEST_F(ResolveThreadCount, AutoFallsBackToHardwareConcurrency) {
+  EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
+TEST_F(ResolveThreadCount, MalformedEnvironmentIsIgnored) {
+  for (const char* bad : {"", "0", "abc", "4x", "-2"}) {
+    setenv("FASTZ_THREADS", bad, 1);
+    EXPECT_GE(resolve_thread_count(0), 1u) << "FASTZ_THREADS=" << bad;
+  }
 }
 
 }  // namespace
