@@ -1,0 +1,571 @@
+// Closed-loop load generator for the alignment service (src/service/).
+//
+// Scenarios (pick with --scenarios, comma-separated):
+//
+//   closed  one client issues requests back-to-back (closed arrivals) over
+//           a Zipf-skewed pair corpus — the deterministic smoke run CI
+//           gates: request/shed/cache-hit/batch counts are exact.
+//   ab      interleaved A/B at fixed offered load (N closed-loop clients):
+//           micro-batching ON vs batch-size-1, cache off in both arms so
+//           the comparison isolates batching value (shared seed indexes,
+//           in-batch duplicate coalescing, fewer dispatch round-trips).
+//   burst   stage a burst against a paused server, then drain: exercises
+//           admission control (sheds are expected and deterministic),
+//           max-depth coalescing, and cross-batch cache reuse.
+//   open    Poisson-free open arrivals at a fixed rate (default 70% of the
+//           measured closed-loop throughput): shed rate and tail latency
+//           under offered load the server does not control.
+//
+// Every completed result is verified bit-identical against a direct
+// per-pair FastzStudy reference (exit code 2 on any divergence) — the
+// service must never trade correctness for throughput. Latencies are
+// exact percentiles over recorded per-request times, not histogram upper
+// bounds. The BenchReport JSON feeds fastz_benchdiff; CI ignores the
+// wallclock-derived keys (latency/throughput/gain) and gates the
+// deterministic counts (docs/SERVICE.md).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fastz/fastz_pipeline.hpp"
+#include "report/experiment.hpp"
+#include "sequence/benchmark_pairs.hpp"
+#include "service/server.hpp"
+#include "telemetry/bench_report.hpp"
+#include "util/cli.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace fastz;
+using service::AlignRequest;
+using service::AlignResult;
+using service::AlignmentServer;
+using service::QueueFullError;
+using service::ServerConfig;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// ---------------------------------------------------------------------------
+// Corpus: one shared target window, `n` distinct query windows — the
+// reference-heavy traffic shape a genome service actually sees, and the
+// shape where the batch's shared seed index amortizes.
+struct Corpus {
+  Sequence target;
+  std::vector<Sequence> queries;
+  ScoreParams params;
+  PipelineOptions options;
+  // Direct per-pair reference (the divergence oracle).
+  std::vector<FastzStudy> direct;
+};
+
+Sequence window_of(const Sequence& seq, std::size_t offset, std::size_t length,
+                   const std::string& name) {
+  const auto codes = seq.codes();
+  offset = std::min(offset, codes.size() - length);
+  return Sequence(name, std::vector<BaseCode>(codes.begin() + offset,
+                                              codes.begin() + offset + length));
+}
+
+Corpus build_corpus(const HarnessOptions& harness, std::size_t entries,
+                    std::size_t target_len, std::size_t query_len) {
+  const std::vector<BenchmarkPair> pairs = same_genus_pairs(harness.scale);
+  const BenchmarkPair& spec = pairs.front();
+  const SyntheticPair data =
+      generate_pair(spec.model, spec.generator_seed, spec.species_a, spec.species_b);
+
+  Corpus corpus;
+  corpus.params = harness_score_params(harness);
+  corpus.options.max_seeds = harness.max_seeds;
+  corpus.options.sample_seed = harness.sample_seed;
+  corpus.options.threads = 1;  // single-core honest: no hidden pool wins
+  target_len = std::min(target_len, data.a.size());
+  query_len = std::min(query_len, data.b.size());
+  corpus.target = window_of(data.a, 0, target_len, spec.species_a);
+  for (std::size_t i = 0; i < entries; ++i) {
+    // Deterministic distinct offsets; primes walk the whole chromosome.
+    const std::size_t offset = (i * 104729) % (data.b.size() - query_len + 1);
+    corpus.queries.push_back(
+        window_of(data.b, offset, query_len, spec.species_b + "#" + std::to_string(i)));
+  }
+  corpus.direct.reserve(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    corpus.direct.emplace_back(corpus.target, corpus.queries[i], corpus.params,
+                               corpus.options);
+  }
+  return corpus;
+}
+
+AlignRequest request_for(const Corpus& corpus, std::size_t idx) {
+  AlignRequest req;
+  req.a = corpus.target;
+  req.b = corpus.queries[idx];
+  req.params = corpus.params;
+  return req;
+}
+
+bool matches_direct(const AlignResult& result, const FastzStudy& direct) {
+  if (result.outcome.seeds != direct.seeds() ||
+      result.outcome.inspector_cells != direct.inspector_cells() ||
+      result.outcome.alignments.size() != direct.alignments().size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < direct.alignments().size(); ++i) {
+    const Alignment& d = direct.alignments()[i];
+    const Alignment& s = result.outcome.alignments[i];
+    if (d.a_begin != s.a_begin || d.a_end != s.a_end || d.b_begin != s.b_begin ||
+        d.b_end != s.b_end || d.score != s.score || d.ops != s.ops) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Zipf sampler over corpus ranks: P(i) proportional to 1/(i+1)^skew.
+std::vector<double> zipf_cdf(std::size_t n, double skew) {
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf[i] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+std::size_t zipf_pick(const std::vector<double>& cdf, double u) {
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return std::min<std::size_t>(cdf.size() - 1,
+                               static_cast<std::size_t>(it - cdf.begin()));
+}
+
+// ---------------------------------------------------------------------------
+struct RunStats {
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t divergences = 0;
+  double wall_s = 0.0;
+  std::vector<double> latencies_s;  // sorted on finish
+  service::ServerStats server;
+  service::CacheStats cache;
+
+  double throughput_rps() const {
+    return wall_s > 0.0 ? static_cast<double>(completed) / wall_s : 0.0;
+  }
+  double latency_p(double p) const {
+    if (latencies_s.empty()) return 0.0;
+    const auto n = static_cast<double>(latencies_s.size());
+    const auto idx = std::min(latencies_s.size() - 1,
+                              static_cast<std::size_t>(p / 100.0 * n));
+    return latencies_s[idx];
+  }
+  double cache_hit_rate() const {
+    return completed > 0 ? static_cast<double>(server.cache_hits) /
+                               static_cast<double>(completed)
+                         : 0.0;
+  }
+  double shed_rate() const {
+    const auto offered = static_cast<double>(completed + shed);
+    return offered > 0 ? static_cast<double>(shed) / offered : 0.0;
+  }
+};
+
+void finish_run(RunStats& run, AlignmentServer& server) {
+  std::sort(run.latencies_s.begin(), run.latencies_s.end());
+  run.server = server.stats();
+  run.cache = server.cache_stats();
+}
+
+// Closed arrivals: `clients` threads issue `per_client` requests
+// back-to-back, each waiting for its reply before the next submit.
+RunStats run_closed(const ServerConfig& config, const Corpus& corpus,
+                    const std::vector<double>& cdf, std::size_t clients,
+                    std::size_t per_client, std::uint64_t seed) {
+  AlignmentServer server(config);
+  RunStats run;
+  std::mutex merge_mutex;
+  std::atomic<std::uint64_t> divergences{0};
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(seed ^ (0x9E3779B97F4A7C15ull * (t + 1)));
+      std::vector<double> latencies;
+      latencies.reserve(per_client);
+      std::uint64_t local_shed = 0;
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const std::size_t idx = zipf_pick(cdf, rng.uniform());
+        const Clock::time_point start = Clock::now();
+        try {
+          AlignResult result = server.submit(request_for(corpus, idx)).get();
+          latencies.push_back(seconds_between(start, Clock::now()));
+          if (!matches_direct(result, corpus.direct[idx])) divergences.fetch_add(1);
+        } catch (const QueueFullError&) {
+          ++local_shed;  // closed loop should never shed; counted anyway
+        }
+      }
+      std::lock_guard lock(merge_mutex);
+      run.latencies_s.insert(run.latencies_s.end(), latencies.begin(), latencies.end());
+      run.completed += latencies.size();
+      run.shed += local_shed;
+    });
+  }
+  for (auto& th : threads) th.join();
+  run.wall_s = wall.elapsed_s();
+  run.divergences = divergences.load();
+  finish_run(run, server);
+  return run;
+}
+
+// Burst: stage everything against a paused server (sheds beyond
+// queue_limit are deterministic), then resume and drain.
+RunStats run_burst(const ServerConfig& config, const Corpus& corpus,
+                   const std::vector<double>& cdf, std::size_t burst,
+                   std::uint64_t seed) {
+  AlignmentServer server(config, /*start_paused=*/true);
+  RunStats run;
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<std::future<AlignResult>, std::size_t>> futures;
+  futures.reserve(burst);
+  for (std::size_t i = 0; i < burst; ++i) {
+    const std::size_t idx = zipf_pick(cdf, rng.uniform());
+    try {
+      futures.emplace_back(server.submit(request_for(corpus, idx)), idx);
+    } catch (const QueueFullError&) {
+      ++run.shed;
+    }
+  }
+  Timer drain;
+  server.resume();
+  for (auto& [future, idx] : futures) {
+    const Clock::time_point start = Clock::now();
+    AlignResult result = future.get();
+    run.latencies_s.push_back(seconds_between(start, Clock::now()));
+    if (!matches_direct(result, corpus.direct[idx])) ++run.divergences;
+    ++run.completed;
+  }
+  run.wall_s = drain.elapsed_s();
+  finish_run(run, server);
+  return run;
+}
+
+// Open arrivals: submit at a fixed rate regardless of completions; waiter
+// threads resolve futures promptly so completion timestamps are honest.
+RunStats run_open(const ServerConfig& config, const Corpus& corpus,
+                  const std::vector<double>& cdf, double rate_rps,
+                  std::size_t total, std::uint64_t seed) {
+  AlignmentServer server(config);
+  RunStats run;
+  std::atomic<std::uint64_t> divergences{0};
+
+  struct InFlight {
+    std::future<AlignResult> future;
+    Clock::time_point submitted;
+    std::size_t idx;
+  };
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<InFlight> in_flight;
+  bool done = false;
+
+  std::mutex merge_mutex;
+  std::vector<std::thread> waiters;
+  for (int w = 0; w < 4; ++w) {
+    waiters.emplace_back([&] {
+      for (;;) {
+        InFlight item;
+        {
+          std::unique_lock lock(queue_mutex);
+          queue_cv.wait(lock, [&] { return done || !in_flight.empty(); });
+          if (in_flight.empty()) return;
+          item = std::move(in_flight.front());
+          in_flight.pop_front();
+        }
+        AlignResult result = item.future.get();
+        const double latency = seconds_between(item.submitted, Clock::now());
+        if (!matches_direct(result, corpus.direct[item.idx])) divergences.fetch_add(1);
+        std::lock_guard lock(merge_mutex);
+        run.latencies_s.push_back(latency);
+        ++run.completed;
+      }
+    });
+  }
+
+  Xoshiro256 rng(seed);
+  const auto interval = std::chrono::duration<double>(1.0 / rate_rps);
+  Timer wall;
+  Clock::time_point next = Clock::now();
+  for (std::size_t i = 0; i < total; ++i) {
+    std::this_thread::sleep_until(next);
+    next += std::chrono::duration_cast<Clock::duration>(interval);
+    const std::size_t idx = zipf_pick(cdf, rng.uniform());
+    try {
+      InFlight item;
+      item.submitted = Clock::now();
+      item.idx = idx;
+      item.future = server.submit(request_for(corpus, idx));
+      {
+        std::lock_guard lock(queue_mutex);
+        in_flight.push_back(std::move(item));
+      }
+      queue_cv.notify_one();
+    } catch (const QueueFullError&) {
+      std::lock_guard lock(merge_mutex);
+      ++run.shed;
+    }
+  }
+  {
+    std::lock_guard lock(queue_mutex);
+    done = true;
+  }
+  queue_cv.notify_all();
+  for (auto& th : waiters) th.join();
+  run.wall_s = wall.elapsed_s();
+  run.divergences += divergences.load();
+  finish_run(run, server);
+  return run;
+}
+
+void print_run(const std::string& label, const RunStats& run) {
+  TextTable table({"Scenario", "Done", "Shed", "p50 ms", "p99 ms", "p99.9 ms",
+                   "rps", "Cache hit", "Batches", "Pipeline items"});
+  table.add_row({label, std::to_string(run.completed), std::to_string(run.shed),
+                 TextTable::num(run.latency_p(50) * 1e3, 2),
+                 TextTable::num(run.latency_p(99) * 1e3, 2),
+                 TextTable::num(run.latency_p(99.9) * 1e3, 2),
+                 TextTable::num(run.throughput_rps(), 1),
+                 TextTable::num(run.cache_hit_rate(), 3),
+                 std::to_string(run.server.batches),
+                 std::to_string(run.server.pipeline_items)});
+  table.render(std::cout, false);
+}
+
+bool has_scenario(const std::string& csv, const std::string& name) {
+  std::size_t start = 0;
+  while (start < csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    if (csv.substr(start, comma - start) == name) return true;
+    start = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "Closed-loop load generator for the alignment service: Zipf-skewed "
+      "corpus, closed/open/burst arrivals, and an interleaved A/B of "
+      "micro-batching vs batch-size-1. Verifies every reply against the "
+      "direct pipeline (exit 2 on divergence).");
+  add_harness_flags(cli);
+  cli.add_flag("scenarios", "comma-separated subset of closed,ab,burst,open",
+               "closed,ab,burst,open");
+  cli.add_flag("corpus", "distinct query windows in the pair corpus", "16");
+  cli.add_flag("target-len", "shared target window (bp)", "12000");
+  cli.add_flag("query-len", "per-request query window (bp)", "2500");
+  cli.add_flag("zipf", "Zipf skew of corpus popularity", "1.1");
+  cli.add_flag("clients", "closed-loop client threads for the A/B", "4");
+  cli.add_flag("requests", "requests per client (closed and ab)", "30");
+  cli.add_flag("ab-repeats", "interleaved A/B repeats", "2");
+  cli.add_flag("burst", "requests staged in the burst scenario", "64");
+  cli.add_flag("queue-limit", "admission-control queue depth", "48");
+  cli.add_flag("batch-max", "micro-batch coalescing ceiling", "8");
+  cli.add_flag("batch-window-us", "micro-batch linger window (us)", "1000");
+  cli.add_flag("shards", "worker threads / virtual GPUs", "2");
+  cli.add_flag("open-rps", "open-arrival rate (0 = 70% of closed throughput)", "0");
+  cli.add_flag("open-requests", "requests submitted in the open scenario", "120");
+  cli.add_flag("seed", "load-generator seed", "1");
+  cli.add_flag("json", "write a BenchReport JSON to this path (empty: skip)",
+               "BENCH_service.json");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const HarnessOptions harness = harness_options_from(cli);
+  const std::string scenarios = cli.get("scenarios");
+  const auto corpus_n = static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("corpus")));
+  const auto clients = static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("clients")));
+  const auto requests = static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("requests")));
+  const auto ab_repeats = static_cast<int>(std::max<std::int64_t>(1, cli.get_int("ab-repeats")));
+  const auto burst = static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("burst")));
+  const auto seed = static_cast<std::uint64_t>(std::max<std::int64_t>(1, cli.get_int("seed")));
+  const double zipf_skew = cli.get_double("zipf");
+
+  ServerConfig base;
+  base.queue_limit = static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("queue-limit")));
+  base.batch_max = static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("batch-max")));
+  base.batch_window_s = static_cast<double>(cli.get_int("batch-window-us")) * 1e-6;
+  base.shards = static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("shards")));
+
+  if (harness.verbose) {
+    std::cerr << "building corpus: " << corpus_n << " queries + direct references\n";
+  }
+  const Corpus corpus = build_corpus(harness, corpus_n,
+                                     static_cast<std::size_t>(std::max<std::int64_t>(1000, cli.get_int("target-len"))),
+                                     static_cast<std::size_t>(std::max<std::int64_t>(500, cli.get_int("query-len"))));
+  base.options = corpus.options;
+  const std::vector<double> cdf = zipf_cdf(corpus_n, zipf_skew);
+
+  std::uint64_t divergences = 0;
+  telemetry::BenchReport report("service");
+  add_harness_config(report, harness);
+  report.add_config("corpus", std::to_string(corpus_n));
+  report.add_config("zipf", TextTable::num(zipf_skew, 2));
+  report.add_config("queue_limit", std::to_string(base.queue_limit));
+  report.add_config("batch_max", std::to_string(base.batch_max));
+  report.add_config("shards", std::to_string(base.shards));
+  report.add_config("seed", std::to_string(seed));
+  report.set_repeats(ab_repeats);
+
+  // --- closed: the deterministic smoke scenario (one client) --------------
+  if (has_scenario(scenarios, "closed")) {
+    ServerConfig config = base;
+    config.shards = 1;  // serialized dispatch: every count is exact
+    const RunStats run = run_closed(config, corpus, cdf, 1, requests, seed);
+    std::cout << "=== Closed loop (1 client, " << requests << " requests) ===\n";
+    print_run("closed", run);
+    divergences += run.divergences;
+    report.add_metric("closed.requests", static_cast<double>(run.completed));
+    report.add_metric("closed.verified_rate",
+                      run.completed > 0
+                          ? 1.0 - static_cast<double>(run.divergences) /
+                                      static_cast<double>(run.completed)
+                          : 1.0);
+    report.add_metric("closed.cache_hit_rate", run.cache_hit_rate());
+    report.add_metric("closed.shed_rate", run.shed_rate());
+    report.add_metric("closed.batches", static_cast<double>(run.server.batches));
+    report.add_metric("closed.pipeline_items",
+                      static_cast<double>(run.server.pipeline_items));
+    report.add_metric("closed.latency_p50_ms", run.latency_p(50) * 1e3);
+    report.add_metric("closed.latency_p99_ms", run.latency_p(99) * 1e3);
+    report.add_metric("closed.latency_p999_ms", run.latency_p(99.9) * 1e3);
+    report.add_metric("closed.throughput_rps", run.throughput_rps());
+    report.add_metric("closed.wallclock_s", run.wall_s);
+  }
+
+  // --- ab: micro-batching value at fixed offered load ---------------------
+  double closed_rps = 0.0;
+  if (has_scenario(scenarios, "ab")) {
+    ServerConfig batched = base;
+    batched.enable_cache = false;  // isolate batching from caching
+    ServerConfig batch1 = batched;
+    batch1.enable_batching = false;
+
+    RunStats best_batched;
+    RunStats best_batch1;
+    for (int rep = 0; rep < ab_repeats; ++rep) {
+      const RunStats b = run_closed(batched, corpus, cdf, clients, requests,
+                                    seed + static_cast<std::uint64_t>(rep));
+      const RunStats u = run_closed(batch1, corpus, cdf, clients, requests,
+                                    seed + static_cast<std::uint64_t>(rep));
+      divergences += b.divergences + u.divergences;
+      if (rep == 0 || b.throughput_rps() > best_batched.throughput_rps()) best_batched = b;
+      if (rep == 0 || u.throughput_rps() > best_batch1.throughput_rps()) best_batch1 = u;
+    }
+    std::cout << "\n=== A/B at fixed load (" << clients << " clients x " << requests
+              << " requests, cache off, interleaved x" << ab_repeats << ") ===\n";
+    print_run("batched", best_batched);
+    print_run("batch-1", best_batch1);
+    const double gain = best_batch1.throughput_rps() > 0
+                            ? best_batched.throughput_rps() / best_batch1.throughput_rps()
+                            : 0.0;
+    const double p99_gain = best_batched.latency_p(99) > 0
+                                ? best_batch1.latency_p(99) / best_batched.latency_p(99)
+                                : 0.0;
+    std::cout << "batching gain: " << TextTable::num(gain, 2) << "x throughput, "
+              << TextTable::num(p99_gain, 2) << "x p99\n";
+    closed_rps = best_batched.throughput_rps();
+    report.add_metric("ab.batched.throughput_rps", best_batched.throughput_rps());
+    report.add_metric("ab.batch1.throughput_rps", best_batch1.throughput_rps());
+    report.add_metric("ab.throughput_gain", gain);
+    report.add_metric("ab.batched.latency_p99_ms", best_batched.latency_p(99) * 1e3);
+    report.add_metric("ab.batch1.latency_p99_ms", best_batch1.latency_p(99) * 1e3);
+    report.add_metric("ab.p99_gain", p99_gain);
+    report.add_metric("ab.batched.coalesced", static_cast<double>(best_batched.server.coalesced));
+  }
+
+  // --- burst: admission control + drain -----------------------------------
+  if (has_scenario(scenarios, "burst")) {
+    ServerConfig config = base;
+    config.shards = 1;  // deterministic batch composition and cache reuse
+    const RunStats run = run_burst(config, corpus, cdf, burst, seed);
+    std::cout << "\n=== Burst (" << burst << " staged, queue limit "
+              << config.queue_limit << ") ===\n";
+    print_run("burst", run);
+    divergences += run.divergences;
+    report.add_metric("burst.accepted", static_cast<double>(run.completed));
+    report.add_metric("burst.shed", static_cast<double>(run.shed));
+    report.add_metric("burst.shed_rate", run.shed_rate());
+    report.add_metric("burst.max_queue_depth",
+                      static_cast<double>(run.server.max_queue_depth));
+    report.add_metric("burst.batches", static_cast<double>(run.server.batches));
+    report.add_metric("burst.coalesced", static_cast<double>(run.server.coalesced));
+    report.add_metric("burst.cache_hit_rate", run.cache_hit_rate());
+    report.add_metric("burst.pipeline_items",
+                      static_cast<double>(run.server.pipeline_items));
+    report.add_metric("burst.drain_wallclock_s", run.wall_s);
+  }
+
+  // --- open: fixed-rate arrivals ------------------------------------------
+  if (has_scenario(scenarios, "open")) {
+    double rate = cli.get_double("open-rps");
+    if (rate <= 0.0) {
+      if (closed_rps <= 0.0) {
+        // No A/B ran: probe saturation with a short closed burst first.
+        const RunStats probe = run_closed(base, corpus, cdf, clients,
+                                          std::max<std::size_t>(8, requests / 4), seed);
+        divergences += probe.divergences;
+        closed_rps = probe.throughput_rps();
+      }
+      rate = std::max(1.0, 0.7 * closed_rps);
+    }
+    const auto total = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, cli.get_int("open-requests")));
+    const RunStats run = run_open(base, corpus, cdf, rate, total, seed);
+    std::cout << "\n=== Open arrivals (" << TextTable::num(rate, 1) << " rps offered, "
+              << total << " requests) ===\n";
+    print_run("open", run);
+    divergences += run.divergences;
+    report.add_metric("open.offered_rps", rate);
+    report.add_metric("open.completed", static_cast<double>(run.completed));
+    report.add_metric("open.shed_rate", run.shed_rate());
+    report.add_metric("open.cache_hit_rate", run.cache_hit_rate());
+    report.add_metric("open.latency_p50_ms", run.latency_p(50) * 1e3);
+    report.add_metric("open.latency_p99_ms", run.latency_p(99) * 1e3);
+    report.add_metric("open.latency_p999_ms", run.latency_p(99.9) * 1e3);
+    report.add_metric("open.throughput_rps", run.throughput_rps());
+    report.add_metric("open.wallclock_s", run.wall_s);
+  }
+
+  report.add_metric("service.divergences", static_cast<double>(divergences));
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) {
+    if (report.write_file(json_path)) {
+      std::cout << "\nwrote " << json_path << "\n";
+    } else {
+      std::cerr << "\nfailed to write " << json_path << "\n";
+    }
+  }
+  if (divergences > 0) {
+    std::cerr << "FAIL: " << divergences
+              << " service replies diverged from the direct pipeline\n";
+    return 2;
+  }
+  return 0;
+}

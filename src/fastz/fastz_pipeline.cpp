@@ -1,6 +1,7 @@
 #include "fastz/fastz_pipeline.hpp"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 #include <string>
 
@@ -8,6 +9,7 @@
 #include "gpusim/profiler.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
+#include "util/digest.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -101,81 +103,45 @@ void record_derive(const FastzRun& run,
 
 }  // namespace
 
-FastzStudy::FastzStudy(const Sequence& a, const Sequence& b, const ScoreParams& params,
-                       const PipelineOptions& base) {
-  telemetry::TraceSpan pass_span("fastz.functional_pass");
-  Timer wallclock;
-  params.validate();
-  sequence_bytes_ = a.size() + b.size();
-
-  const SpacedSeed seed = SpacedSeed::lastz_default();
-  std::vector<SeedHit> hits;
+void FastzStudy::pass_seed(const Sequence& a, const Sequence& b,
+                           const ScoreParams& params, const PipelineOptions& base,
+                           const SeedHit& hit, std::size_t idx,
+                           std::vector<Alignment>& executed) {
+  const FastzConfig functional = FastzConfig::full();
+  static const std::size_t seed_span = SpacedSeed::lastz_default().span();
+  SeedWork& work = seed_work_[idx];
   {
-    telemetry::TraceSpan span("fastz.seeding");
-    hits = enumerate_seeds(a, b, base);
+    telemetry::TraceSpan span("fastz.inspect_seed");
+    work.inspection =
+        inspect_seed(a, b, hit, seed_span, params, functional, base.one_sided);
   }
+  if (work.inspection.eager) {
+    work.has_alignment = work.inspection.score >= params.gapped_threshold;
+  } else {
+    telemetry::TraceSpan span("fastz.execute_seed");
+    ExecutorOutcome exec =
+        execute_seed(a, b, work.inspection, params, functional, base.one_sided);
+    work.trimmed_cells = exec.cells;
+    work.trimmed_geom = exec.geom;
+    if (exec.alignment.score >= params.gapped_threshold) {
+      work.has_alignment = true;
+      executed[idx] = std::move(exec.alignment);
+    }
+  }
+}
 
-  // Per-seed observability: cached instruments so the loop below touches
-  // the registry lock once, not per seed.
+void FastzStudy::pass_assemble(const PipelineOptions& base,
+                               std::vector<Alignment>& executed) {
   const bool telem = telemetry::enabled();
   telemetry::LogHistogram* h_search_cells = nullptr;
   telemetry::LogHistogram* h_trimmed_cells = nullptr;
   telemetry::Counter* c_eager = nullptr;
   if (telem) {
     auto& reg = telemetry::MetricsRegistry::global();
-    reg.counter("fastz.seeds").add(hits.size());
     h_search_cells = &reg.histogram("fastz.seed.search_cells");
     h_trimmed_cells = &reg.histogram("fastz.seed.trimmed_cells");
     c_eager = &reg.counter("fastz.seeds.eager");
   }
-
-  const FastzConfig functional = FastzConfig::full();
-  functional_threads_ = std::min<std::size_t>(resolve_thread_count(base.threads),
-                                              std::max<std::size_t>(1, hits.size()));
-
-  // Per-seed worker: pure function of (sequences, hit, params) writing only
-  // its own seed_work_/executed slot, so any processing order is safe.
-  // Alignments that clear the threshold are parked per seed index and
-  // collected by the serial assembly loop below, never pushed concurrently.
-  seed_work_.resize(hits.size());
-  std::vector<Alignment> executed(hits.size());
-  auto process_seed = [&](std::size_t idx) {
-    SeedWork& work = seed_work_[idx];
-    {
-      telemetry::TraceSpan span("fastz.inspect_seed");
-      work.inspection =
-          inspect_seed(a, b, hits[idx], seed.span(), params, functional, base.one_sided);
-    }
-    if (work.inspection.eager) {
-      work.has_alignment = work.inspection.score >= params.gapped_threshold;
-    } else {
-      telemetry::TraceSpan span("fastz.execute_seed");
-      ExecutorOutcome exec =
-          execute_seed(a, b, work.inspection, params, functional, base.one_sided);
-      work.trimmed_cells = exec.cells;
-      work.trimmed_geom = exec.geom;
-      if (exec.alignment.score >= params.gapped_threshold) {
-        work.has_alignment = true;
-        executed[idx] = std::move(exec.alignment);
-      }
-    }
-  };
-
-  {
-    telemetry::TraceSpan loop_span("fastz.inspect_and_execute");
-    if (functional_threads_ <= 1) {
-      for (std::size_t idx = 0; idx < hits.size(); ++idx) process_seed(idx);
-    } else {
-      ThreadPool pool(functional_threads_);
-      pool.parallel_for(hits.size(), process_seed);
-    }
-  }
-
-  // Serial assembly in seed-index order: alignments_, the registry
-  // instruments, and inspector_cells_ see exactly the sequence the serial
-  // pass produced, so census, derive(), dedup, and golden numbers are
-  // bit-identical for every thread count. Workers above never touch the
-  // registry — per-seed metrics merge here, once, on one thread.
   for (std::size_t idx = 0; idx < seed_work_.size(); ++idx) {
     SeedWork& work = seed_work_[idx];
     inspector_cells_ += work.inspection.search_cells();
@@ -188,14 +154,150 @@ FastzStudy::FastzStudy(const Sequence& a, const Sequence& b, const ScoreParams& 
       if (work.has_alignment) alignments_.push_back(std::move(executed[idx]));
     }
   }
-
   if (base.deduplicate) deduplicate_alignments(alignments_);
   if (telem) {
     telemetry::MetricsRegistry::global()
         .counter("fastz.alignments")
         .add(alignments_.size());
   }
+}
+
+FastzStudy::FastzStudy(const Sequence& a, const Sequence& b, const ScoreParams& params,
+                       const PipelineOptions& base) {
+  telemetry::TraceSpan pass_span("fastz.functional_pass");
+  Timer wallclock;
+  params.validate();
+  sequence_bytes_ = a.size() + b.size();
+
+  std::vector<SeedHit> hits;
+  {
+    telemetry::TraceSpan span("fastz.seeding");
+    hits = enumerate_seeds(a, b, base);
+  }
+  if (telemetry::enabled()) {
+    telemetry::MetricsRegistry::global().counter("fastz.seeds").add(hits.size());
+  }
+
+  functional_threads_ = std::min<std::size_t>(resolve_thread_count(base.threads),
+                                              std::max<std::size_t>(1, hits.size()));
+
+  // Alignments that clear the threshold are parked per seed index and
+  // collected by the serial assembly below, never pushed concurrently.
+  seed_work_.resize(hits.size());
+  std::vector<Alignment> executed(hits.size());
+  auto process_seed = [&](std::size_t idx) {
+    pass_seed(a, b, params, base, hits[idx], idx, executed);
+  };
+
+  {
+    telemetry::TraceSpan loop_span("fastz.inspect_and_execute");
+    if (functional_threads_ <= 1) {
+      for (std::size_t idx = 0; idx < hits.size(); ++idx) process_seed(idx);
+    } else {
+      ThreadPool pool(functional_threads_);
+      pool.parallel_for(hits.size(), process_seed);
+    }
+  }
+
+  // Workers above never touch the registry — per-seed metrics merge in
+  // pass_assemble, once, on one thread.
+  pass_assemble(base, executed);
   functional_wallclock_s_ = wallclock.elapsed_s();
+}
+
+std::vector<FastzStudy> run_functional_batch(const std::vector<FunctionalBatchItem>& items,
+                                             std::size_t threads) {
+  telemetry::TraceSpan batch_span("fastz.functional_batch");
+  Timer wallclock;
+  std::vector<FastzStudy> studies;
+  studies.reserve(items.size());
+  if (items.empty()) return studies;
+
+  const bool telem = telemetry::enabled();
+  const SpacedSeed seed = SpacedSeed::lastz_default();
+
+  // ---- Phase A (serial, item order): seeding with shared target indexes.
+  // Items whose target sequence is content-identical (and indexed at the
+  // same step) reuse one SeedIndex — the batch's biggest fixed-cost
+  // amortization for the reference-heavy traffic a service actually sees.
+  // find_hits depends only on (query, max_seeds, sample_seed, transitions),
+  // so the shared index yields bit-identical hit lists.
+  std::map<Digest128, SeedIndex> target_indexes;
+  std::vector<std::vector<SeedHit>> hits(items.size());
+  std::vector<std::vector<Alignment>> executed(items.size());
+  std::size_t total_seeds = 0;
+  std::uint64_t shared_targets = 0;
+  {
+    telemetry::TraceSpan span("fastz.seeding");
+    for (std::size_t it = 0; it < items.size(); ++it) {
+      const FunctionalBatchItem& item = items[it];
+      item.params.validate();
+      studies.push_back(FastzStudy());
+      FastzStudy& study = studies.back();
+      study.sequence_bytes_ = item.a->size() + item.b->size();
+
+      DigestBuilder key;
+      key.update_sized(item.a->codes().data(), item.a->size());
+      key.update_u64(item.options.index_step);
+      const auto [index_it, built] = target_indexes.try_emplace(
+          key.finish(), *item.a, seed, item.options.index_step);
+      if (!built) ++shared_targets;
+      hits[it] = index_it->second.find_hits(*item.b, item.options.max_seeds,
+                                            item.options.sample_seed,
+                                            item.options.seed_transitions);
+      if (telem) {
+        telemetry::MetricsRegistry::global().counter("fastz.seeds").add(hits[it].size());
+      }
+      study.seed_work_.resize(hits[it].size());
+      executed[it].resize(hits[it].size());
+      total_seeds += hits[it].size();
+    }
+  }
+  if (telem) {
+    auto& reg = telemetry::MetricsRegistry::global();
+    reg.counter("fastz.batch.items").add(items.size());
+    reg.counter("fastz.batch.shared_targets").add(shared_targets);
+  }
+
+  // ---- Phase B: one flat sweep over every item's seeds — a single pool
+  // barrier for the whole batch instead of one per pair.
+  std::vector<std::uint32_t> owner(total_seeds);
+  std::vector<std::size_t> first(items.size());
+  {
+    std::size_t flat = 0;
+    for (std::size_t it = 0; it < items.size(); ++it) {
+      first[it] = flat;
+      for (std::size_t k = 0; k < hits[it].size(); ++k) owner[flat++] = static_cast<std::uint32_t>(it);
+    }
+  }
+  const std::size_t workers = std::min<std::size_t>(
+      resolve_thread_count(threads), std::max<std::size_t>(1, total_seeds));
+  auto process_flat = [&](std::size_t flat) {
+    const std::size_t it = owner[flat];
+    const std::size_t idx = flat - first[it];
+    const FunctionalBatchItem& item = items[it];
+    studies[it].pass_seed(*item.a, *item.b, item.params, item.options, hits[it][idx],
+                          idx, executed[it]);
+  };
+  {
+    telemetry::TraceSpan loop_span("fastz.inspect_and_execute");
+    if (workers <= 1) {
+      for (std::size_t flat = 0; flat < total_seeds; ++flat) process_flat(flat);
+    } else {
+      ThreadPool pool(workers);
+      pool.parallel_for(total_seeds, process_flat);
+    }
+  }
+
+  // ---- Phase C (serial, item order): per-item assembly, identical to the
+  // single-pair constructor's.
+  for (std::size_t it = 0; it < items.size(); ++it) {
+    studies[it].pass_assemble(items[it].options, executed[it]);
+    studies[it].functional_threads_ = workers;
+  }
+  const double elapsed = wallclock.elapsed_s();
+  for (FastzStudy& study : studies) study.functional_wallclock_s_ = elapsed;
+  return studies;
 }
 
 BinCensus FastzStudy::census() const {

@@ -18,6 +18,7 @@
 // derived configuration.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -65,6 +66,33 @@ struct SeedWork {
   bool has_alignment = false;  // combined score cleared the threshold
 };
 
+class FastzStudy;
+
+// One request of a coalesced functional pass. The pointed-to sequences
+// must outlive the run_functional_batch call; the batch does not copy them.
+struct FunctionalBatchItem {
+  const Sequence* a = nullptr;
+  const Sequence* b = nullptr;
+  ScoreParams params;
+  PipelineOptions options;
+};
+
+// Re-entrant batched entry point: runs the functional pass of every item
+// as ONE coalesced unit, amortizing the pass's fixed costs across the
+// batch — items sharing a target sequence (content-identical, same
+// index_step) build its seed index once, and all items' seeds run in a
+// single worker-pool sweep instead of one pool barrier per pair. Per-item
+// results are assembled serially in item order and are bit-identical to a
+// per-pair `FastzStudy(a, b, params, options)` construction (pinned by
+// tests/fastz/batch_pass_test.cpp). This is the entry point the alignment
+// service's micro-batcher dispatches to (see docs/SERVICE.md).
+//
+// `threads` resolves like PipelineOptions::threads (0 = auto via
+// FASTZ_THREADS, then hardware_concurrency) and applies to the whole
+// batch; the per-item options.threads field is ignored here.
+std::vector<FastzStudy> run_functional_batch(const std::vector<FunctionalBatchItem>& items,
+                                             std::size_t threads = 0);
+
 class FastzStudy {
  public:
   // Runs the functional pass: seeding per `base` options, inspection of
@@ -103,6 +131,25 @@ class FastzStudy {
   std::uint64_t sequence_bytes() const noexcept { return sequence_bytes_; }
 
  private:
+  friend std::vector<FastzStudy> run_functional_batch(
+      const std::vector<FunctionalBatchItem>& items, std::size_t threads);
+
+  FastzStudy() = default;  // batch entry point fills the members itself
+
+  // Per-seed worker of the functional pass: a pure function of
+  // (sequences, hit, params) writing only seed_work_[idx] and its
+  // `executed[idx]` parking slot, so any processing order — including a
+  // flat sweep interleaving several studies' seeds — is safe.
+  void pass_seed(const Sequence& a, const Sequence& b, const ScoreParams& params,
+                 const PipelineOptions& base, const SeedHit& hit, std::size_t idx,
+                 std::vector<Alignment>& executed);
+
+  // Serial assembly in seed-index order: alignments_, telemetry
+  // instruments, and inspector_cells_ see exactly the sequence the serial
+  // pass produces, so census, derive(), dedup, and golden numbers are
+  // bit-identical for every thread count and for batched vs per-pair runs.
+  void pass_assemble(const PipelineOptions& base, std::vector<Alignment>& executed);
+
   std::vector<SeedWork> seed_work_;
   std::vector<Alignment> alignments_;
   std::uint64_t inspector_cells_ = 0;

@@ -1,0 +1,291 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "fastz/fastz_pipeline.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace fastz::service {
+
+AlignmentServer::AlignmentServer(ServerConfig config, bool start_paused)
+    : config_(std::move(config)),
+      cache_(config_.enable_cache ? config_.cache_max_entries : 0,
+             config_.enable_cache ? config_.cache_max_bytes : 0),
+      shards_(std::max<std::size_t>(1, config_.shards), config_.device) {
+  if (config_.queue_limit == 0) {
+    throw std::invalid_argument("AlignmentServer: queue_limit must be >= 1");
+  }
+  if (config_.batch_max == 0) {
+    throw std::invalid_argument("AlignmentServer: batch_max must be >= 1");
+  }
+  paused_ = start_paused;
+  const std::size_t n = shards_.size();
+  shard_queues_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    shard_queues_.push_back(std::make_unique<ShardQueue>());
+  }
+  batcher_ = std::thread([this] { batcher_loop(); });
+  workers_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+}
+
+AlignmentServer::~AlignmentServer() { shutdown(); }
+
+std::future<AlignResult> AlignmentServer::submit(AlignRequest request) {
+  // The digest walks both sequences; keep it outside the queue lock.
+  const Digest128 key = request_key(request.a, request.b, request.params);
+
+  std::unique_lock lock(mutex_);
+  if (stopping_) throw ShutdownError();
+  if (pending_.size() >= config_.queue_limit) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t depth = pending_.size();
+    lock.unlock();
+    if (telemetry::enabled()) {
+      telemetry::MetricsRegistry::global().counter("service.requests.shed").add(1);
+    }
+    throw QueueFullError(depth, config_.queue_limit);
+  }
+  Pending pending;
+  pending.request = std::move(request);
+  pending.key = key;
+  std::future<AlignResult> future = pending.promise.get_future();
+  pending_.push_back(std::move(pending));
+  const std::size_t depth = pending_.size();
+  lock.unlock();
+
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t seen = max_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !max_queue_depth_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+  }
+  cv_batcher_.notify_one();
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::MetricsRegistry::global();
+    reg.counter("service.requests.accepted").add(1);
+    reg.histogram("service.queue.depth").record(depth);
+  }
+  return future;
+}
+
+void AlignmentServer::pause() {
+  std::lock_guard lock(mutex_);
+  paused_ = true;
+}
+
+void AlignmentServer::resume() {
+  {
+    std::lock_guard lock(mutex_);
+    paused_ = false;
+  }
+  cv_batcher_.notify_all();
+}
+
+std::size_t AlignmentServer::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return pending_.size();
+}
+
+ServerStats AlignmentServer::stats() const {
+  ServerStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.pipeline_items = pipeline_items_.load(std::memory_order_relaxed);
+  s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void AlignmentServer::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_batcher_.notify_all();
+  {
+    // Serialize concurrent shutdown() callers around the joins; joined_
+    // flips only after every thread is down.
+    std::lock_guard join_lock(join_mutex_);
+    if (joined_) return;
+    if (batcher_.joinable()) batcher_.join();
+    for (auto& queue : shard_queues_) {
+      std::lock_guard qlock(queue->mutex);
+      queue->stopping = true;
+      queue->cv.notify_all();
+    }
+    for (auto& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    joined_ = true;
+  }
+}
+
+void AlignmentServer::batcher_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    cv_batcher_.wait(lock, [&] { return stopping_ || (!paused_ && !pending_.empty()); });
+    if (pending_.empty()) {
+      if (stopping_) return;  // drained
+      continue;
+    }
+    // Linger: give concurrent arrivals batch_window_s (measured from the
+    // moment the batcher first sees work) to coalesce, up to batch_max.
+    // Draining at shutdown skips the window — latency no longer matters.
+    if (config_.enable_batching && !stopping_ && pending_.size() < config_.batch_max) {
+      cv_batcher_.wait_for(
+          lock, std::chrono::duration<double>(config_.batch_window_s),
+          [&] { return stopping_ || pending_.size() >= config_.batch_max; });
+      if (paused_ && !stopping_) continue;  // paused mid-linger: hold the queue
+    }
+    const std::size_t take =
+        config_.enable_batching ? std::min(config_.batch_max, pending_.size())
+                                : std::size_t{1};
+    Batch batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    lock.unlock();
+
+    const std::size_t shard = shards_.acquire();  // least-modeled-busy
+    {
+      ShardQueue& queue = *shard_queues_[shard];
+      std::lock_guard qlock(queue.mutex);
+      queue.batches.push_back(std::move(batch));
+      queue.cv.notify_one();
+    }
+    lock.lock();
+  }
+}
+
+void AlignmentServer::worker_loop(std::size_t shard) {
+  ShardQueue& queue = *shard_queues_[shard];
+  for (;;) {
+    Batch batch;
+    {
+      std::unique_lock lock(queue.mutex);
+      queue.cv.wait(lock, [&] { return queue.stopping || !queue.batches.empty(); });
+      if (queue.batches.empty()) return;  // stopping and drained
+      batch = std::move(queue.batches.front());
+      queue.batches.pop_front();
+    }
+    process_batch(shard, std::move(batch));
+  }
+}
+
+void AlignmentServer::process_batch(std::size_t shard, Batch batch) {
+  telemetry::TraceSpan span("service.batch", "service");
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  const bool telem = telemetry::enabled();
+  if (telem) {
+    auto& reg = telemetry::MetricsRegistry::global();
+    reg.counter("service.batches").add(1);
+    reg.histogram("service.batch.items").record(batch.size());
+  }
+
+  std::vector<bool> fulfilled(batch.size(), false);
+  try {
+    // 1) Cache pass: repeat keys never reach the pipeline.
+    std::vector<std::size_t> misses;
+    misses.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (config_.enable_cache) {
+        if (auto hit = cache_.get(batch[i].key)) {
+          AlignResult result;
+          result.outcome = std::move(*hit);
+          result.shard = static_cast<std::uint32_t>(shard);
+          result.cache_hit = true;
+          batch[i].promise.set_value(std::move(result));
+          fulfilled[i] = true;
+          cache_hits_.fetch_add(1, std::memory_order_relaxed);
+          completed_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+      }
+      misses.push_back(i);
+    }
+
+    // 2) In-batch coalescing: duplicates of one key run once.
+    std::vector<std::size_t> unique;  // first-occurrence batch indices
+    std::unordered_map<Digest128, std::size_t, Digest128Hash> slot_of_key;
+    std::vector<std::size_t> slot_of_miss(misses.size());
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+      const auto [it, inserted] =
+          slot_of_key.try_emplace(batch[misses[m]].key, unique.size());
+      if (inserted) unique.push_back(misses[m]);
+      slot_of_miss[m] = it->second;
+    }
+
+    // 3) ONE coalesced functional pass for every distinct miss.
+    std::vector<FunctionalBatchItem> items;
+    items.reserve(unique.size());
+    for (const std::size_t i : unique) {
+      items.push_back({&batch[i].request.a, &batch[i].request.b,
+                       batch[i].request.params, config_.options});
+    }
+    pipeline_items_.fetch_add(items.size(), std::memory_order_relaxed);
+    if (telem) {
+      telemetry::MetricsRegistry::global()
+          .counter("service.pipeline.items")
+          .add(items.size());
+    }
+    std::vector<FastzStudy> studies =
+        run_functional_batch(items, config_.threads_per_shard);
+
+    // 4) Derive modeled device time on this shard's virtual GPU, populate
+    //    the cache, and charge the shard.
+    std::vector<AlignOutcome> outcomes(unique.size());
+    double charged_s = 0.0;
+    for (std::size_t u = 0; u < unique.size(); ++u) {
+      const FastzRun run = studies[u].derive(config_.config, config_.device);
+      AlignOutcome outcome;
+      outcome.alignments = studies[u].alignments();
+      outcome.seeds = studies[u].seeds();
+      outcome.inspector_cells = studies[u].inspector_cells();
+      outcome.modeled_gpu_s = run.modeled.total_s();
+      charged_s += outcome.modeled_gpu_s;
+      if (config_.enable_cache) cache_.put(batch[unique[u]].key, outcome);
+      outcomes[u] = std::move(outcome);
+    }
+    shards_.charge(shard, charged_s);
+
+    // 5) Fulfill every miss from its slot's outcome.
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+      const std::size_t i = misses[m];
+      AlignResult result;
+      result.outcome = outcomes[slot_of_miss[m]];
+      result.shard = static_cast<std::uint32_t>(shard);
+      result.coalesced = (unique[slot_of_miss[m]] != i);
+      if (result.coalesced) {
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
+        if (telem) {
+          telemetry::MetricsRegistry::global().counter("service.coalesced").add(1);
+        }
+      }
+      batch[i].promise.set_value(std::move(result));
+      fulfilled[i] = true;
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } catch (...) {
+    // A failed batch (e.g. invalid per-request params) reports through the
+    // futures of every request it had not answered yet.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (fulfilled[i]) continue;
+      batch[i].promise.set_exception(std::current_exception());
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace fastz::service

@@ -1,0 +1,23 @@
+#include "service/service.hpp"
+
+namespace fastz::service {
+
+Digest128 request_key(const Sequence& a, const Sequence& b, const ScoreParams& params) {
+  DigestBuilder d;
+  d.update_sized(a.codes().data(), a.size());
+  d.update_sized(b.codes().data(), b.size());
+  for (int i = 0; i < kAlphabetSize; ++i) {
+    for (int j = 0; j < kAlphabetSize; ++j) {
+      d.update_i64(params.subst[i][j]);
+    }
+  }
+  d.update_i64(params.gap_open);
+  d.update_i64(params.gap_extend);
+  d.update_i64(params.ydrop);
+  d.update_i64(params.xdrop);
+  d.update_i64(params.gapped_threshold);
+  d.update_i64(params.ungapped_threshold);
+  return d.finish();
+}
+
+}  // namespace fastz::service

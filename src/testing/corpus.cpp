@@ -156,6 +156,23 @@ void fill_pipeline(FuzzCase& c, Xoshiro256& rng) {
   c.pipeline.sample_seed = rng();
 }
 
+void fill_service_pipeline(FuzzCase& c, Xoshiro256& rng) {
+  // Smaller than kPipeline: each case runs the direct study PLUS a batching
+  // server replay (one micro-batch of duplicates + a cache hit), so the
+  // per-case budget buys four pipeline-shaped checks.
+  PairModel model;
+  model.length_a = 1500 + rng.below(3001);
+  model.segments = {{80.0 + 60.0 * rng.uniform(), 80 + rng.below(150),
+                     250 + rng.below(300), 0.85 + 0.1 * rng.uniform()}};
+  SyntheticPair pair = generate_pair(model, rng());
+  c.a = std::move(pair.a);
+  c.b = std::move(pair.b);
+  c.params = lastz_default_params();
+  c.params.ydrop = 1500 + static_cast<Score>(rng.below(3)) * 750;
+  c.pipeline.max_seeds = 400;
+  c.pipeline.sample_seed = rng();
+}
+
 }  // namespace
 
 const char* case_kind_name(CaseKind kind) noexcept {
@@ -168,6 +185,7 @@ const char* case_kind_name(CaseKind kind) noexcept {
     case CaseKind::kDegenerate: return "degenerate";
     case CaseKind::kPipelineExact: return "pipeline-exact";
     case CaseKind::kPipeline: return "pipeline";
+    case CaseKind::kServicePipeline: return "service-pipeline";
   }
   return "unknown";
 }
@@ -188,6 +206,7 @@ FuzzCase make_case_of_kind(std::uint64_t seed, CaseKind kind) {
     case CaseKind::kDegenerate: fill_degenerate(c, rng); break;
     case CaseKind::kPipelineExact: fill_pipeline_exact(c, rng); break;
     case CaseKind::kPipeline: fill_pipeline(c, rng); break;
+    case CaseKind::kServicePipeline: fill_service_pipeline(c, rng); break;
   }
   c.params.validate();
   return c;
@@ -213,8 +232,10 @@ FuzzCase make_case(std::uint64_t seed) {
     kind = CaseKind::kDegenerate;
   } else if (pick < 90) {
     kind = CaseKind::kPipelineExact;
-  } else {
+  } else if (pick < 95) {
     kind = CaseKind::kPipeline;
+  } else {
+    kind = CaseKind::kServicePipeline;
   }
   return make_case_of_kind(seed, kind);
 }

@@ -35,8 +35,11 @@ enum class CaseKind : std::uint8_t {
   kPipelineExact,       // tiny pair, unbounded y-drop: all pipelines identical
   kPipeline,            // chromosome pair, default pruning: LASTZ == multicore,
                         // FastZ covers LASTZ
+  kServicePipeline,     // pair replayed through the batching alignment server
+                        // (micro-batched, coalesced, cached): every reply must
+                        // be bit-identical to the direct FastzStudy
 };
-inline constexpr std::size_t kCaseKindCount = 8;
+inline constexpr std::size_t kCaseKindCount = 9;
 
 const char* case_kind_name(CaseKind kind) noexcept;
 

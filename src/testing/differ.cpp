@@ -9,6 +9,7 @@
 #include "fastz/fastz_pipeline.hpp"
 #include "fastz/strip_kernel.hpp"
 #include "multicore/multicore_lastz.hpp"
+#include "service/server.hpp"
 
 namespace fastz::testing {
 
@@ -265,6 +266,71 @@ void diff_pipelines(DiffResult& out, const FuzzCase& c, InjectedBug bug, bool ex
   }
 }
 
+// ---- Service kind: the same pair replayed through the batching server.
+// Three duplicate submissions stage as ONE micro-batch (the later two must
+// coalesce onto the first), then a repeat request must hit the result
+// cache. Every reply — batched, coalesced, or cached — must be
+// bit-identical to the direct FastzStudy: the service may never trade
+// correctness for throughput.
+void diff_service(DiffResult& out, const FuzzCase& c, InjectedBug bug) {
+  const FastzStudy direct(c.a, c.b, c.params, c.pipeline);
+
+  service::ServerConfig config;
+  config.options = c.pipeline;
+  config.shards = 1;
+  config.batch_max = 4;
+  config.queue_limit = 8;
+  service::AlignmentServer server(config, /*start_paused=*/true);
+  const ScoreParams subj = subject_params(c, bug);
+  auto submit = [&] {
+    service::AlignRequest req;
+    req.a = c.a;
+    req.b = c.b;
+    req.params = subj;
+    return server.submit(std::move(req));
+  };
+  std::vector<std::future<service::AlignResult>> futures;
+  for (int k = 0; k < 3; ++k) futures.push_back(submit());
+  server.resume();
+  std::vector<service::AlignResult> results;
+  for (auto& f : futures) results.push_back(f.get());
+  results.push_back(submit().get());  // drained server: must hit the cache
+
+  out.expect(results[1].coalesced && results[2].coalesced,
+             tag(c, "duplicate in-batch service requests were not coalesced"));
+  out.expect(results[3].cache_hit,
+             tag(c, "repeat service request missed the result cache"));
+  const service::ServerStats stats = server.stats();
+  out.expect(stats.batches == 2,
+             tag(c, "service dispatched " + std::to_string(stats.batches) +
+                        " batches, expected 2 (staged trio + cached repeat)"));
+  out.expect(stats.pipeline_items == 1,
+             tag(c, "service ran " + std::to_string(stats.pipeline_items) +
+                        " pipeline items, expected 1 (coalesce + cache)"));
+  out.expect(results[0].outcome.seeds == direct.seeds() &&
+                 results[0].outcome.inspector_cells == direct.inspector_cells(),
+             tag(c, "service census (seeds " + std::to_string(results[0].outcome.seeds) +
+                        ", cells " + std::to_string(results[0].outcome.inspector_cells) +
+                        ") != direct study (" + std::to_string(direct.seeds()) + ", " +
+                        std::to_string(direct.inspector_cells()) + ")"));
+
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    std::vector<Alignment> got = results[r].outcome.alignments;
+    if (r == 0) tamper(got, bug);  // the output-tampering bugs hit reply 0
+    const std::string who = "service reply " + std::to_string(r);
+    out.expect(got.size() == direct.alignments().size(),
+               tag(c, who + " returned " + std::to_string(got.size()) +
+                          " alignments, direct study " +
+                          std::to_string(direct.alignments().size())));
+    const std::size_t n = std::min(got.size(), direct.alignments().size());
+    for (std::size_t k = 0; k < n; ++k) {
+      out.expect(same_alignment(got[k], direct.alignments()[k]),
+                 tag(c, who + " alignment " + std::to_string(k) + " " + aln_str(got[k]) +
+                            " != direct " + aln_str(direct.alignments()[k])));
+    }
+  }
+}
+
 }  // namespace
 
 const char* bug_name(InjectedBug bug) noexcept {
@@ -309,6 +375,9 @@ DiffResult diff_case(const FuzzCase& c, InjectedBug bug) {
       break;
     case CaseKind::kPipeline:
       diff_pipelines(out, c, bug, /*exact=*/false);
+      break;
+    case CaseKind::kServicePipeline:
+      diff_service(out, c, bug);
       break;
   }
   return out;

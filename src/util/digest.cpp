@@ -1,0 +1,54 @@
+#include "util/digest.hpp"
+
+namespace fastz {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+// splitmix64 finalizer: full avalanche in three multiply-xor rounds.
+constexpr std::uint64_t avalanche(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+DigestBuilder& DigestBuilder::update(const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t a = a_;
+  std::uint64_t b = b_;
+  std::uint64_t pos = pos_;
+  for (std::size_t k = 0; k < size; ++k, ++pos) {
+    a = (a ^ bytes[k]) * kFnvPrime;
+    // The second lane folds the stream position in so the lanes stay
+    // independent (plain double-FNV lanes would be a bijection of each
+    // other). The position counts across update() calls: splitting one
+    // buffer into several updates must not change the digest.
+    b = (b ^ (bytes[k] + 0x9Eu) ^ (pos & 0xFFu)) * kFnvPrime;
+  }
+  a_ = a;
+  b_ = b;
+  pos_ = pos;
+  return *this;
+}
+
+Digest128 DigestBuilder::finish() const noexcept {
+  Digest128 d;
+  d.hi = avalanche(a_ ^ (b_ >> 32));
+  d.lo = avalanche(b_ ^ (a_ << 32) ^ 0x2545F4914F6CDD1Dull);
+  return d;
+}
+
+std::string Digest128::hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int k = 0; k < 16; ++k) {
+    out[static_cast<std::size_t>(k)] = kHex[(hi >> (60 - 4 * k)) & 0xF];
+    out[static_cast<std::size_t>(16 + k)] = kHex[(lo >> (60 - 4 * k)) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace fastz

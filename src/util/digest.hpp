@@ -1,0 +1,71 @@
+// Streaming 128-bit content digest for request keying and batch grouping.
+//
+// The alignment service keys its result cache on the digest of
+// (sequence pair, score parameters); the batched functional pass groups
+// requests that share a target sequence by the target's digest. Both uses
+// need a digest that is deterministic across runs and platforms (it lands
+// in checked-in bench baselines and fuzz repro lines) and wide enough that
+// an accidental collision is never the explanation for a divergence —
+// two independently-mixed 64-bit FNV lanes give 128 bits, far beyond any
+// realistic corpus size. This is content addressing, not cryptography:
+// nothing here defends against adversarial collisions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fastz {
+
+struct Digest128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Digest128&, const Digest128&) = default;
+  friend bool operator<(const Digest128& x, const Digest128& y) noexcept {
+    return x.hi != y.hi ? x.hi < y.hi : x.lo < y.lo;
+  }
+
+  // 32 lowercase hex characters, hi word first.
+  std::string hex() const;
+};
+
+// For unordered_map keying: the lanes are already well mixed, so folding
+// them is enough.
+struct Digest128Hash {
+  std::size_t operator()(const Digest128& d) const noexcept {
+    return static_cast<std::size_t>(d.hi ^ (d.lo * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+// Accumulates bytes into two independent FNV-1a lanes (distinct offset
+// bases), finalized with a splitmix-style avalanche so short inputs still
+// spread across all 128 bits.
+class DigestBuilder {
+ public:
+  DigestBuilder& update(const void* data, std::size_t size) noexcept;
+
+  // Length-prefixed update: hashing {"ab","c"} and {"a","bc"} must differ.
+  DigestBuilder& update_sized(const void* data, std::size_t size) noexcept {
+    update_u64(size);
+    return update(data, size);
+  }
+
+  DigestBuilder& update_u64(std::uint64_t v) noexcept {
+    unsigned char bytes[8];
+    for (int k = 0; k < 8; ++k) bytes[k] = static_cast<unsigned char>(v >> (8 * k));
+    return update(bytes, sizeof(bytes));
+  }
+  DigestBuilder& update_i64(std::int64_t v) noexcept {
+    return update_u64(static_cast<std::uint64_t>(v));
+  }
+
+  Digest128 finish() const noexcept;
+
+ private:
+  std::uint64_t a_ = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
+  std::uint64_t b_ = 0x6c62272e07bb0142ull;  // FNV-1 128 offset basis, high word
+  std::uint64_t pos_ = 0;                    // stream position across updates
+};
+
+}  // namespace fastz

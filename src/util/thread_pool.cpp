@@ -1,22 +1,34 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
+#include <limits>
+#include <stdexcept>
 #include <string>
 
 #include "telemetry/trace.hpp"
 
 namespace fastz {
 
-std::size_t resolve_thread_count(std::size_t requested) noexcept {
+std::size_t resolve_thread_count(std::size_t requested) {
   if (requested != 0) return requested;
   if (const char* env = std::getenv("FASTZ_THREADS"); env != nullptr && *env != '\0') {
+    // Strict parse: the whole string must be a positive decimal integer.
+    // strtoull accepts leading whitespace/signs and clamps overflow, so
+    // check those explicitly.
+    errno = 0;
     char* end = nullptr;
+    const bool leading_ok = env[0] >= '0' && env[0] <= '9';
     const unsigned long long parsed = std::strtoull(env, &end, 10);
-    if (end != nullptr && *end == '\0' && parsed > 0) {
-      return static_cast<std::size_t>(parsed);
+    if (!leading_ok || end == env || *end != '\0' || errno == ERANGE || parsed == 0 ||
+        parsed > std::numeric_limits<std::size_t>::max()) {
+      throw std::invalid_argument(
+          "FASTZ_THREADS must be a positive integer, got '" + std::string(env) +
+          "' (unset it or pass --threads to override)");
     }
+    return static_cast<std::size_t>(parsed);
   }
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }

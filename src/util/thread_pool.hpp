@@ -19,10 +19,14 @@ namespace fastz {
 
 // Resolves a thread-count request shared by every `--threads` knob:
 // nonzero requests pass through unchanged; 0 ("auto") consults the
-// FASTZ_THREADS environment variable (positive integer) and falls back to
-// hardware_concurrency (at least 1). Malformed FASTZ_THREADS values are
-// ignored rather than trusted.
-std::size_t resolve_thread_count(std::size_t requested) noexcept;
+// FASTZ_THREADS environment variable and falls back to
+// hardware_concurrency (at least 1). FASTZ_THREADS must be a positive
+// decimal integer; anything else (non-numeric, negative, zero, trailing
+// garbage, overflow) throws std::invalid_argument naming the bad value —
+// a typo in a CI matrix or service unit file must fail loudly, not
+// silently run at a different parallelism. An empty/unset variable means
+// "no preference".
+std::size_t resolve_thread_count(std::size_t requested);
 
 class ThreadPool {
  public:

@@ -1,0 +1,171 @@
+// Bit-identity of the batched functional pass.
+//
+// run_functional_batch coalesces many pairs into one pass — shared target
+// seed indexes, one flat worker sweep — but per-item results must be
+// bit-identical to constructing a FastzStudy per pair. The alignment
+// service's correctness rests on this equivalence (docs/SERVICE.md), so
+// these tests pin it across case kinds, thread counts, shared-target
+// batches, and duplicate items.
+#include "fastz/fastz_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gpusim/device_spec.hpp"
+#include "testing/corpus.hpp"
+
+namespace fastz {
+namespace {
+
+using testing::CaseKind;
+using testing::kCaseKindCount;
+using testing::make_case_of_kind;
+
+void expect_same_study(const FastzStudy& direct, const FastzStudy& batched,
+                       const std::string& label) {
+  EXPECT_EQ(direct.seeds(), batched.seeds()) << label;
+  EXPECT_EQ(direct.inspector_cells(), batched.inspector_cells()) << label;
+  EXPECT_EQ(direct.sequence_bytes(), batched.sequence_bytes()) << label;
+  ASSERT_EQ(direct.alignments().size(), batched.alignments().size()) << label;
+  for (std::size_t i = 0; i < direct.alignments().size(); ++i) {
+    const Alignment& d = direct.alignments()[i];
+    const Alignment& b = batched.alignments()[i];
+    EXPECT_EQ(d.a_begin, b.a_begin) << label << " alignment " << i;
+    EXPECT_EQ(d.a_end, b.a_end) << label << " alignment " << i;
+    EXPECT_EQ(d.b_begin, b.b_begin) << label << " alignment " << i;
+    EXPECT_EQ(d.b_end, b.b_end) << label << " alignment " << i;
+    EXPECT_EQ(d.score, b.score) << label << " alignment " << i;
+    EXPECT_EQ(d.ops, b.ops) << label << " alignment " << i;
+  }
+  // Derivation consumes the stored per-seed metrics, so equality here means
+  // the batch preserved every SeedWork field, not just the alignments.
+  const gpusim::DeviceSpec device = gpusim::titan_x_pascal();
+  const FastzRun dr = direct.derive(FastzConfig::full(), device);
+  const FastzRun br = batched.derive(FastzConfig::full(), device);
+  EXPECT_EQ(dr.modeled.inspector_s, br.modeled.inspector_s) << label;
+  EXPECT_EQ(dr.modeled.executor_s, br.modeled.executor_s) << label;
+  EXPECT_EQ(dr.modeled.other_s, br.modeled.other_s) << label;
+  EXPECT_EQ(dr.inspector_cells, br.inspector_cells) << label;
+  EXPECT_EQ(dr.executor_cells, br.executor_cells) << label;
+  EXPECT_EQ(dr.census.total, br.census.total) << label;
+  EXPECT_EQ(dr.census.eager, br.census.eager) << label;
+}
+
+TEST(BatchPass, EmptyBatchYieldsNoStudies) {
+  EXPECT_TRUE(run_functional_batch({}).empty());
+}
+
+TEST(BatchPass, SingleItemMatchesDirectConstruction) {
+  for (std::size_t k = 0; k < kCaseKindCount; ++k) {
+    const auto kind = static_cast<CaseKind>(k);
+    auto c = make_case_of_kind(11, kind);
+    if (c.a.size() == 0 || c.b.size() == 0) continue;  // degenerate empties
+    FastzStudy direct(c.a, c.b, c.params, c.pipeline);
+    auto batched = run_functional_batch(
+        {{&c.a, &c.b, c.params, c.pipeline}}, /*threads=*/1);
+    ASSERT_EQ(batched.size(), 1u);
+    expect_same_study(direct, batched[0],
+                      std::string("kind=") + testing::case_kind_name(kind));
+  }
+}
+
+TEST(BatchPass, MixedBatchMatchesPerPairStudies) {
+  // One batch holding every kind at once: results must land per item, in
+  // item order, unaffected by the other items' seeds in the shared sweep.
+  std::vector<testing::FuzzCase> cases;
+  for (std::size_t k = 0; k < kCaseKindCount; ++k) {
+    auto c = make_case_of_kind(202, static_cast<CaseKind>(k));
+    if (c.a.size() == 0 || c.b.size() == 0) continue;
+    cases.push_back(std::move(c));
+  }
+  std::vector<FunctionalBatchItem> items;
+  for (const auto& c : cases) items.push_back({&c.a, &c.b, c.params, c.pipeline});
+  auto batched = run_functional_batch(items, /*threads=*/2);
+  ASSERT_EQ(batched.size(), cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    FastzStudy direct(cases[i].a, cases[i].b, cases[i].params, cases[i].pipeline);
+    expect_same_study(direct, batched[i], "item " + std::to_string(i));
+  }
+}
+
+TEST(BatchPass, ThreadCountDoesNotChangeResults) {
+  std::vector<testing::FuzzCase> cases;
+  cases.push_back(make_case_of_kind(81, CaseKind::kPipeline));
+  cases.push_back(make_case_of_kind(82, CaseKind::kOneSidedRelated));
+  cases.push_back(make_case_of_kind(83, CaseKind::kPipelineExact));
+  std::vector<FunctionalBatchItem> items;
+  for (const auto& c : cases) items.push_back({&c.a, &c.b, c.params, c.pipeline});
+  auto serial = run_functional_batch(items, /*threads=*/1);
+  for (std::size_t threads : {2, 4, 7}) {
+    auto parallel = run_functional_batch(items, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      expect_same_study(serial[i], parallel[i],
+                        "threads=" + std::to_string(threads) + " item " +
+                            std::to_string(i));
+    }
+  }
+}
+
+TEST(BatchPass, SharedTargetReusesIndexBitIdentically) {
+  // Many queries against one target — the service's reference-heavy traffic
+  // shape. The shared seed index must yield the same hits as a per-pair
+  // index build.
+  auto base = make_case_of_kind(91, CaseKind::kPipeline);
+  std::vector<testing::FuzzCase> queries;
+  for (std::uint64_t s = 92; s < 97; ++s) {
+    queries.push_back(make_case_of_kind(s, CaseKind::kPipeline));
+  }
+  std::vector<FunctionalBatchItem> items;
+  for (const auto& q : queries) {
+    items.push_back({&base.a, &q.b, base.params, base.pipeline});
+  }
+  auto batched = run_functional_batch(items, /*threads=*/3);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    FastzStudy direct(base.a, queries[i].b, base.params, base.pipeline);
+    expect_same_study(direct, batched[i], "query " + std::to_string(i));
+  }
+}
+
+TEST(BatchPass, DuplicateItemsProduceDuplicateResults) {
+  auto c = make_case_of_kind(101, CaseKind::kPipeline);
+  const FunctionalBatchItem item{&c.a, &c.b, c.params, c.pipeline};
+  std::vector<FunctionalBatchItem> items(3, item);
+  auto batched = run_functional_batch(items, /*threads=*/2);
+  ASSERT_EQ(batched.size(), 3u);
+  for (std::size_t i = 1; i < batched.size(); ++i) {
+    expect_same_study(batched[0], batched[i], "dup " + std::to_string(i));
+  }
+}
+
+TEST(BatchPass, DifferentIndexStepsDoNotShareAnIndex) {
+  // Same target, different index_step: the cache key must separate them,
+  // and each must match its own per-pair construction.
+  auto c = make_case_of_kind(111, CaseKind::kPipeline);
+  PipelineOptions sparse = c.pipeline;
+  sparse.index_step = c.pipeline.index_step + 1;
+  std::vector<FunctionalBatchItem> items = {
+      {&c.a, &c.b, c.params, c.pipeline},
+      {&c.a, &c.b, c.params, sparse},
+  };
+  auto batched = run_functional_batch(items, /*threads=*/1);
+  ASSERT_EQ(batched.size(), 2u);
+  FastzStudy dense_direct(c.a, c.b, c.params, c.pipeline);
+  FastzStudy sparse_direct(c.a, c.b, c.params, sparse);
+  expect_same_study(dense_direct, batched[0], "dense");
+  expect_same_study(sparse_direct, batched[1], "sparse");
+}
+
+TEST(BatchPass, InvalidParamsThrowBeforeAnyWork) {
+  auto c = make_case_of_kind(121, CaseKind::kPipeline);
+  ScoreParams bad = c.params;
+  bad.gap_extend = 5;  // positive gap penalty: validate() rejects
+  std::vector<FunctionalBatchItem> items = {{&c.a, &c.b, bad, c.pipeline}};
+  EXPECT_THROW(run_functional_batch(items), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fastz

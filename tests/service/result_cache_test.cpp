@@ -1,0 +1,171 @@
+// Result-cache guarantees the service's correctness rests on: stable keys
+// for identical content, no aliasing across any scoring difference, and
+// strict LRU eviction under both capacity bounds.
+#include "service/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "service/service.hpp"
+#include "sequence/sequence.hpp"
+
+namespace fastz::service {
+namespace {
+
+Sequence seq(const std::string& dna, const std::string& name = "s") {
+  return Sequence::from_string(name, dna);
+}
+
+AlignOutcome outcome_with_score(Score score) {
+  AlignOutcome o;
+  Alignment a;
+  a.score = score;
+  a.ops.assign(16, AlignOp::Match);
+  o.alignments.push_back(std::move(a));
+  o.seeds = 1;
+  return o;
+}
+
+TEST(RequestKey, StableAcrossIdenticalPairs) {
+  const ScoreParams params = lastz_default_params();
+  const Digest128 k1 = request_key(seq("ACGTACGT"), seq("ACGTTCGT"), params);
+  const Digest128 k2 = request_key(seq("ACGTACGT", "other-name"), seq("ACGTTCGT"), params);
+  // Content-addressed: sequence names and object identity are irrelevant.
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(RequestKey, SwappedPairDoesNotAlias) {
+  const ScoreParams params = lastz_default_params();
+  EXPECT_NE(request_key(seq("ACGTACGT"), seq("TTTT"), params),
+            request_key(seq("TTTT"), seq("ACGTACGT"), params));
+}
+
+TEST(RequestKey, SequenceBoundaryDoesNotAlias) {
+  // (AC, GT) vs (ACG, T): same concatenation, different pairs.
+  const ScoreParams params = lastz_default_params();
+  EXPECT_NE(request_key(seq("AC"), seq("GT"), params),
+            request_key(seq("ACG"), seq("T"), params));
+}
+
+TEST(RequestKey, EveryScoringFieldSeparatesKeys) {
+  const Sequence a = seq("ACGTACGTACGT");
+  const Sequence b = seq("ACGTACGAACGT");
+  const ScoreParams base = lastz_default_params();
+  const Digest128 k = request_key(a, b, base);
+
+  ScoreParams p = base;
+  p.ydrop += 1;
+  EXPECT_NE(request_key(a, b, p), k) << "y-drop must never alias";
+  p = base;
+  p.xdrop += 1;
+  EXPECT_NE(request_key(a, b, p), k);
+  p = base;
+  p.gap_open -= 1;
+  EXPECT_NE(request_key(a, b, p), k);
+  p = base;
+  p.gap_extend -= 1;
+  EXPECT_NE(request_key(a, b, p), k);
+  p = base;
+  p.gapped_threshold += 1;
+  EXPECT_NE(request_key(a, b, p), k);
+  p = base;
+  p.ungapped_threshold += 1;
+  EXPECT_NE(request_key(a, b, p), k);
+  p = base;
+  p.subst[0][0] += 1;
+  EXPECT_NE(request_key(a, b, p), k) << "substitution matrix must be keyed";
+}
+
+Digest128 key_of(int i) {
+  DigestBuilder d;
+  d.update_i64(i);
+  return d.finish();
+}
+
+TEST(ResultCache, HitReturnsInsertedValueAndCounts) {
+  ResultCache cache(4, 1 << 20);
+  EXPECT_FALSE(cache.get(key_of(1)).has_value());
+  cache.put(key_of(1), outcome_with_score(42));
+  const auto hit = cache.get(key_of(1));
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->alignments.size(), 1u);
+  EXPECT_EQ(hit->alignments[0].score, 42);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(ResultCache, EvictsInStrictLruOrder) {
+  ResultCache cache(3, 1 << 20);
+  cache.put(key_of(1), outcome_with_score(1));
+  cache.put(key_of(2), outcome_with_score(2));
+  cache.put(key_of(3), outcome_with_score(3));
+  // Touch 1: recency order (most->least) is now 1, 3, 2.
+  EXPECT_TRUE(cache.get(key_of(1)).has_value());
+  cache.put(key_of(4), outcome_with_score(4));  // evicts 2
+  EXPECT_FALSE(cache.get(key_of(2)).has_value());
+  EXPECT_TRUE(cache.get(key_of(1)).has_value());
+  EXPECT_TRUE(cache.get(key_of(3)).has_value());
+  EXPECT_TRUE(cache.get(key_of(4)).has_value());
+  cache.put(key_of(5), outcome_with_score(5));  // evicts 1 (LRU after touches)
+  EXPECT_FALSE(cache.get(key_of(1)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(ResultCache, ByteBudgetEvictsEvenBelowEntryCap) {
+  const std::size_t one = outcome_bytes(outcome_with_score(1));
+  ResultCache cache(100, 2 * one + one / 2);  // room for two entries only
+  cache.put(key_of(1), outcome_with_score(1));
+  cache.put(key_of(2), outcome_with_score(2));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.put(key_of(3), outcome_with_score(3));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.get(key_of(1)).has_value());
+  EXPECT_LE(cache.stats().bytes, 2 * one + one / 2);
+}
+
+TEST(ResultCache, OversizedOutcomeIsNotCached) {
+  ResultCache cache(4, 64);  // smaller than any real outcome
+  cache.put(key_of(1), outcome_with_score(1));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.get(key_of(1)).has_value());
+}
+
+TEST(ResultCache, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0, 1 << 20);
+  cache.put(key_of(1), outcome_with_score(1));
+  EXPECT_FALSE(cache.get(key_of(1)).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCache, RepeatPutRefreshesInsteadOfDuplicating) {
+  ResultCache cache(3, 1 << 20);
+  cache.put(key_of(1), outcome_with_score(1));
+  cache.put(key_of(2), outcome_with_score(2));
+  cache.put(key_of(1), outcome_with_score(1));  // refresh, not duplicate
+  EXPECT_EQ(cache.stats().entries, 2u);
+  cache.put(key_of(3), outcome_with_score(3));
+  cache.put(key_of(4), outcome_with_score(4));  // evicts 2 (1 was refreshed)
+  EXPECT_TRUE(cache.get(key_of(1)).has_value());
+  EXPECT_FALSE(cache.get(key_of(2)).has_value());
+}
+
+TEST(ResultCache, ClearDropsEverythingButKeepsCounters) {
+  ResultCache cache(4, 1 << 20);
+  cache.put(key_of(1), outcome_with_score(1));
+  EXPECT_TRUE(cache.get(key_of(1)).has_value());
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);  // monotonic telemetry survives
+  EXPECT_FALSE(cache.get(key_of(1)).has_value());
+}
+
+}  // namespace
+}  // namespace fastz::service

@@ -1,0 +1,93 @@
+#include "util/digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+namespace fastz {
+namespace {
+
+Digest128 digest_of(const std::string& s) {
+  DigestBuilder d;
+  d.update(s.data(), s.size());
+  return d.finish();
+}
+
+TEST(Digest, DeterministicAcrossBuilders) {
+  EXPECT_EQ(digest_of("chromosome"), digest_of("chromosome"));
+  EXPECT_EQ(digest_of(""), digest_of(""));
+}
+
+TEST(Digest, DifferentContentDiffers) {
+  EXPECT_NE(digest_of("a"), digest_of("b"));
+  EXPECT_NE(digest_of("a"), digest_of(""));
+  EXPECT_NE(digest_of("ab"), digest_of("ba"));
+}
+
+TEST(Digest, IncrementalEqualsOneShot) {
+  DigestBuilder split;
+  split.update("chro", 4);
+  split.update("mosome", 6);
+  EXPECT_EQ(split.finish(), digest_of("chromosome"));
+}
+
+TEST(Digest, SizedUpdatesResistConcatenationAliasing) {
+  DigestBuilder x;
+  x.update_sized("ab", 2).update_sized("c", 1);
+  DigestBuilder y;
+  y.update_sized("a", 1).update_sized("bc", 2);
+  EXPECT_NE(x.finish(), y.finish());
+}
+
+TEST(Digest, HexIs32LowercaseChars) {
+  const std::string hex = digest_of("x").hex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+  // hi word first: a digest with known words renders in order.
+  Digest128 d;
+  d.hi = 0x0123456789abcdefull;
+  d.lo = 0xfedcba9876543210ull;
+  EXPECT_EQ(d.hex(), "0123456789abcdeffedcba9876543210");
+}
+
+TEST(Digest, ShortInputsSpreadAcrossBothLanes) {
+  // The avalanche finalizer must leave no lane trivially related to the
+  // input, even for 1-byte inputs.
+  std::unordered_set<std::uint64_t> his;
+  std::unordered_set<std::uint64_t> los;
+  for (int c = 0; c < 256; ++c) {
+    const char byte = static_cast<char>(c);
+    DigestBuilder d;
+    d.update(&byte, 1);
+    const Digest128 out = d.finish();
+    his.insert(out.hi);
+    los.insert(out.lo);
+    EXPECT_NE(out.hi, out.lo);
+  }
+  EXPECT_EQ(his.size(), 256u);
+  EXPECT_EQ(los.size(), 256u);
+}
+
+TEST(Digest, HashFunctorDistributes) {
+  Digest128Hash hash;
+  std::unordered_set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    DigestBuilder d;
+    d.update_u64(static_cast<std::uint64_t>(i));
+    seen.insert(hash(d.finish()));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Digest, OrderingIsTotal) {
+  const Digest128 a = digest_of("a");
+  const Digest128 b = digest_of("b");
+  EXPECT_TRUE((a < b) != (b < a));
+  EXPECT_FALSE(a < a);
+}
+
+}  // namespace
+}  // namespace fastz

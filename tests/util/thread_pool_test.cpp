@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <numeric>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -158,11 +159,31 @@ TEST_F(ResolveThreadCount, AutoFallsBackToHardwareConcurrency) {
   EXPECT_GE(resolve_thread_count(0), 1u);
 }
 
-TEST_F(ResolveThreadCount, MalformedEnvironmentIsIgnored) {
-  for (const char* bad : {"", "0", "abc", "4x", "-2"}) {
+TEST_F(ResolveThreadCount, MalformedEnvironmentIsRejected) {
+  // A typo'd FASTZ_THREADS must fail loudly, not silently fall back to a
+  // different parallelism (the error names the bad value).
+  for (const char* bad : {"0", "abc", "4x", "-2", "+3", " 5", "0x4",
+                          "99999999999999999999999"}) {
     setenv("FASTZ_THREADS", bad, 1);
-    EXPECT_GE(resolve_thread_count(0), 1u) << "FASTZ_THREADS=" << bad;
+    try {
+      resolve_thread_count(0);
+      FAIL() << "FASTZ_THREADS=" << bad << " was accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(bad), std::string::npos)
+          << "error message does not name the bad value: " << e.what();
+    }
   }
+}
+
+TEST_F(ResolveThreadCount, EmptyEnvironmentMeansUnset) {
+  setenv("FASTZ_THREADS", "", 1);
+  EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
+TEST_F(ResolveThreadCount, ExplicitRequestIgnoresMalformedEnvironment) {
+  // A nonzero request never consults the environment, malformed or not.
+  setenv("FASTZ_THREADS", "garbage", 1);
+  EXPECT_EQ(resolve_thread_count(5), 5u);
 }
 
 }  // namespace
