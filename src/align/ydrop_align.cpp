@@ -3,46 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "align/ydrop_row_core.hpp"
+
 namespace fastz {
 
-namespace {
-
-// One DP row: scores for columns [lo, lo + width). Pruned cells store
-// kNegativeInfinity so downstream reads see them as unreachable — LASTZ's
-// hard-prune semantics. Buffers are reused across rows (the inner loop must
-// not allocate).
-struct ScoreRow {
-  std::uint32_t lo = 0;
-  std::uint32_t width = 0;
-  std::uint32_t first = 0;  // first viable column (absolute)
-  std::uint32_t last = 0;   // last viable column (absolute)
-  std::vector<Score> s;
-  std::vector<Score> gi;
-  std::vector<Score> gd;
-
-  void ensure_capacity(std::size_t n) {
-    if (s.size() < n) {
-      s.resize(n);
-      gi.resize(n);
-      gd.resize(n);
-    }
-  }
-};
-
-struct TraceRow {
-  std::uint32_t lo = 0;
-  std::vector<TraceCode> codes;
-};
-
-// Saturating add that keeps kNegativeInfinity absorbing.
-constexpr Score add_score(Score base, Score delta) noexcept {
-  return base <= kNegativeInfinity ? kNegativeInfinity : base + delta;
-}
-
-}  // namespace
-
+// Full-trace driver over the shared row core (ydrop_row_core.hpp): every
+// explored row's packed codes are retained, so traceback is a single walk.
+// `ydrop_linear_traceback` (ydrop_linear.cpp) runs the same rows but keeps
+// only O(n+m) of trace state.
 OneSidedResult ydrop_one_sided_align(SeqView a, SeqView b, const ScoreParams& params,
                                      const OneSidedOptions& options) {
+  using detail::ScoreRow;
+  using detail::TraceRow;
+
   params.validate();
   OneSidedResult result;
   result.best = BestCell{0, 0, 0};
@@ -55,42 +28,15 @@ OneSidedResult ydrop_one_sided_align(SeqView a, SeqView b, const ScoreParams& pa
   const bool keep_trace = options.want_traceback;
   if (options.record_row_bounds) result.row_bounds.reserve(128);
 
-  // How far a viable insertion chain can run past the previous row's end:
-  // each step costs |gap_extend|, and the chain dies once it is ydrop below
-  // the best score.
-  const Score extend_cost = -params.gap_extend;
-  const std::uint32_t max_right_run =
-      extend_cost > 0
-          ? static_cast<std::uint32_t>((params.ydrop - params.gap_open) / extend_cost) + 2
-          : n + 1;
-
-  const Score open_extend = params.gap_open + params.gap_extend;
-  const Score extend_only = params.gap_extend;
+  const detail::RowContext ctx = detail::make_row_context(
+      a, b, params, n, options.prune == PruneMode::kSequential);
 
   // ---- Row 0: a pure insertion run from the origin. -----------------------
   ScoreRow prev;
   ScoreRow cur;
-  prev.ensure_capacity(std::size_t{std::min(n, max_right_run)} + 2);
-  prev.lo = 0;
-  prev.s[0] = 0;
-  prev.gi[0] = kNegativeInfinity;
-  prev.gd[0] = kNegativeInfinity;
-  std::uint32_t w = 1;
-  if (keep_trace) {
-    trace.push_back({0, {make_trace(kTraceSrcOrigin, false, false)}});
-  }
-  for (std::uint32_t j = 1; j <= n; ++j) {
-    const Score gi = params.gap_open + static_cast<Score>(j) * params.gap_extend;
-    if (gi < -params.ydrop) break;  // best is still 0 at (0,0)
-    prev.s[w] = gi;
-    prev.gi[w] = gi;
-    prev.gd[w] = kNegativeInfinity;
-    ++w;
-    if (keep_trace) trace[0].codes.push_back(make_trace(kTraceSrcI, j == 1, false));
-  }
-  prev.width = w;
-  prev.first = 0;
-  prev.last = w - 1;
+  TraceRow row0;
+  const std::uint32_t w = detail::init_row0(ctx, prev, keep_trace ? &row0 : nullptr);
+  if (keep_trace) trace.push_back(std::move(row0));
   result.max_row_width = w;
   result.cells += w;
   if (options.record_row_bounds) result.row_bounds.push_back({0, w});
@@ -98,161 +44,19 @@ OneSidedResult ydrop_one_sided_align(SeqView a, SeqView b, const ScoreParams& pa
   // ---- Rows 1..m ----------------------------------------------------------
   TraceRow trow;
   for (std::uint32_t row = 1; row <= m; ++row) {
-    const std::uint32_t prev_lo = prev.lo;
-    const std::uint32_t prev_hi = prev_lo + prev.width;
-    const std::uint32_t start_lo = prev.first;
+    const detail::RowOutcome o = detail::advance_row(ctx, row, prev, cur, result.best,
+                                                     keep_trace ? &trow : nullptr);
+    result.cells += o.cells;
+    if (!o.any_viable) break;
 
-    // Upper bound on this row's extent: the previous row's data plus a
-    // bounded insertion run (and never past column n).
-    const std::uint32_t j_cap = std::min(n, prev_hi + max_right_run);
-    cur.ensure_capacity(std::size_t{j_cap} - start_lo + 2);
-    cur.lo = start_lo;
-
-    // Conservative mode freezes the cutoff at the best of completed rows;
-    // sequential mode lets `best` advance within the row.
-    const bool sequential = (options.prune == PruneMode::kSequential);
-    const Score frozen_cutoff = result.best.score - params.ydrop;
-    BestCell row_best = result.best;
-    Score cutoff = result.best.score - params.ydrop;
-
-    if (keep_trace) {
-      trow.lo = start_lo;
-      trow.codes.clear();
-      trow.codes.resize(std::size_t{j_cap} - start_lo + 2);
-    }
-
-    bool any_viable = false;
-    std::uint32_t first_viable = 0;
-    std::uint32_t last_viable = 0;
-
-    const BaseCode a_base = a[row - 1];
-    const Score* const sub_row = params.subst[a_base].data();
-
-    Score* const cs = cur.s.data();
-    Score* const ci = cur.gi.data();
-    Score* const cd = cur.gd.data();
-    const Score* const ps = prev.s.data();
-    const Score* const pd = prev.gd.data();
-    TraceCode* const tc = keep_trace ? trow.codes.data() : nullptr;
-
-    // Previous-row reads for absolute column j:
-    //   s_diag = prev S at j-1, s_up / d_up = prev S / D at j.
-    // Valid range for prev arrays: [prev_lo, prev_hi).
-    std::uint32_t out = 0;  // index into cur arrays (column start_lo + out)
-    Score left_s = kNegativeInfinity;  // cur row, column j-1
-    Score left_i = kNegativeInfinity;
-
-    std::uint32_t j = start_lo;
-    // Column 0 border cell (only when the region still touches column 0).
-    if (j == 0) {
-      const Score d_val = params.gap_open + static_cast<Score>(row) * params.gap_extend;
-      const bool viable = d_val >= (sequential ? cutoff : frozen_cutoff);
-      cs[0] = viable ? d_val : kNegativeInfinity;
-      ci[0] = kNegativeInfinity;
-      cd[0] = viable ? d_val : kNegativeInfinity;
-      if (tc != nullptr) tc[0] = make_trace(kTraceSrcD, false, row == 1);
-      if (viable) {
-        any_viable = true;
-        first_viable = 0;
-        last_viable = 0;
-        if (sequential) {
-          result.best.consider(cs[0], row, 0);
-          cutoff = result.best.score - params.ydrop;
-        } else {
-          row_best.consider(cs[0], row, 0);
-        }
-      }
-      left_s = cs[0];
-      left_i = ci[0];
-      ++result.cells;
-      out = 1;
-      j = 1;
-    }
-
-    for (; j <= j_cap; ++j, ++out) {
-      // I: gap in A — arrive from the left (current row).
-      const Score i_ext = add_score(left_i, extend_only);
-      const Score i_open = add_score(left_s, open_extend);
-      const bool i_opened = i_open >= i_ext;
-      const Score i_val = i_opened ? i_open : i_ext;
-
-      // D: gap in B — arrive from above (previous row).
-      const bool has_up = (j >= prev_lo) & (j < prev_hi);
-      const Score s_up = has_up ? ps[j - prev_lo] : kNegativeInfinity;
-      const Score d_up = has_up ? pd[j - prev_lo] : kNegativeInfinity;
-      const Score d_ext = add_score(d_up, extend_only);
-      const Score d_open = add_score(s_up, open_extend);
-      const bool d_opened = d_open >= d_ext;
-      const Score d_val = d_opened ? d_open : d_ext;
-
-      // S: diagonal vs the gap states (tie preference diag > I > D).
-      const bool has_diag = (j > prev_lo) & (j <= prev_hi);
-      const Score s_diag = has_diag ? ps[j - 1 - prev_lo] : kNegativeInfinity;
-      const Score diag = add_score(s_diag, sub_row[b[j - 1]]);
-      Score s_val = diag;
-      TraceCode s_src = kTraceSrcDiag;
-      if (i_val > s_val) {
-        s_val = i_val;
-        s_src = kTraceSrcI;
-      }
-      if (d_val > s_val) {
-        s_val = d_val;
-        s_src = kTraceSrcD;
-      }
-      ++result.cells;
-      if (tc != nullptr) tc[out] = make_trace(s_src, i_opened, d_opened);
-
-      const bool viable =
-          s_val > kNegativeInfinity && s_val >= (sequential ? cutoff : frozen_cutoff);
-      if (viable) {
-        cs[out] = s_val;
-        ci[out] = i_val;
-        cd[out] = d_val;
-        if (sequential) {
-          if (result.best.improved_by(s_val, row, j)) {
-            result.best = BestCell{s_val, row, j};
-            cutoff = s_val - params.ydrop;
-          }
-        } else {
-          row_best.consider(s_val, row, j);
-        }
-        if (!any_viable) {
-          any_viable = true;
-          first_viable = j;
-        }
-        last_viable = j;
-        left_s = s_val;
-        left_i = i_val;
-      } else {
-        cs[out] = kNegativeInfinity;
-        ci[out] = kNegativeInfinity;
-        cd[out] = kNegativeInfinity;
-        left_s = kNegativeInfinity;
-        left_i = kNegativeInfinity;
-        // Beyond the previous row's interval only the intra-row insertion
-        // chain can carry scores; once it breaks, the row is finished.
-        if (j + 1 > prev_hi) {
-          ++out;
-          break;
-        }
-      }
-    }
-
-    if (!sequential) result.best = row_best;
-    if (!any_viable) break;
-
-    cur.width = out;
-    cur.first = first_viable;
-    cur.last = last_viable;
     std::swap(prev, cur);
-
     if (keep_trace) {
-      trow.codes.resize(out);
       trace.push_back(TraceRow{trow.lo, trow.codes});  // copy keeps trow's capacity
     }
-    if (options.record_row_bounds) result.row_bounds.push_back({first_viable, last_viable + 1});
-
-    result.max_row_width = std::max(result.max_row_width, last_viable + 1 - first_viable);
+    if (options.record_row_bounds) {
+      result.row_bounds.push_back({o.first_viable, o.last_viable + 1});
+    }
+    result.max_row_width = std::max(result.max_row_width, o.last_viable + 1 - o.first_viable);
     result.rows_explored = row;
   }
 

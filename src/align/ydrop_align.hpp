@@ -59,6 +59,20 @@ struct OneSidedOptions {
   bool trace_from_fixed = false;
   std::uint32_t trace_i = 0;
   std::uint32_t trace_j = 0;
+  // Hirschberg linear-space traceback (ydrop_linear_traceback). The executor
+  // switches to it when the trimmed tile area (rows x cols of the traced
+  // rectangle) reaches `hirschberg_area`; 0 disables the linear path
+  // entirely. The default exceeds the largest bin-3 tile (32768^2), so
+  // nothing changes until a workload actually has a long tail or the
+  // threshold is lowered.
+  std::uint64_t hirschberg_area = std::uint64_t{1} << 30;
+  // Rows per materialized base block: segments at most this tall are
+  // replayed once with codes and walked directly instead of split further.
+  std::uint32_t hirschberg_block_rows = 64;
+  // Fault injection for the differ's split canary: skews the walker's column
+  // by this amount at every divide-and-conquer handoff. Must stay 0 in real
+  // use; the `hirschberg-split-off-by-one` injected bug sets it to 1.
+  std::int32_t hirschberg_split_skew = 0;
 };
 
 // Viable interval [lo, hi) of one explored row.
@@ -81,6 +95,44 @@ struct OneSidedResult {
 // forward (right extension) or reversed (left extension).
 OneSidedResult ydrop_one_sided_align(SeqView a, SeqView b, const ScoreParams& params,
                                      const OneSidedOptions& options = {});
+
+// Accounting from one `ydrop_linear_traceback` call. plan_cells matches the
+// full-trace `cells` exactly; replay_cells is the recompute overhead of the
+// divide-and-conquer (~ plan/2 * log2(rows/block_rows) + plan in the worst
+// case). peak_trace_bytes is the high-water mark of materialized trace
+// codes — bounded by (block_rows + 1) rows x the widest window, i.e. O(n+m)
+// — and peak_checkpoint_bytes the high-water mark of retained score rows
+// (one per live recursion level).
+struct LinearTracebackStats {
+  std::uint64_t plan_cells = 0;
+  std::uint64_t replay_cells = 0;
+  std::uint64_t trace_cells = 0;          // cells whose codes were materialized
+  std::uint64_t peak_trace_bytes = 0;
+  std::uint64_t peak_checkpoint_bytes = 0;
+  std::uint32_t splits = 0;               // divide-and-conquer bisections
+  std::uint32_t base_blocks = 0;          // segments traced directly
+  std::uint32_t block_rows = 0;           // effective block height used
+};
+
+// Hirschberg-style linear-space variant of `ydrop_one_sided_align`:
+// bit-identical best cell, cells, row bounds, and op list, but traceback
+// state is bounded to O(n+m) via checkpoint bisection + forward replay
+// instead of retaining every row's codes. Honors the same OneSidedOptions
+// (both prune modes, caps, fixed trace cell); `hirschberg_block_rows`
+// controls the base-block height and `hirschberg_split_skew` the injected
+// split fault. `stats`, when non-null, receives the memory accounting.
+OneSidedResult ydrop_linear_traceback(SeqView a, SeqView b, const ScoreParams& params,
+                                      const OneSidedOptions& options = {},
+                                      LinearTracebackStats* stats = nullptr);
+
+inline OneSidedResult ydrop_linear_traceback(std::span<const BaseCode> a,
+                                             std::span<const BaseCode> b,
+                                             const ScoreParams& params,
+                                             const OneSidedOptions& options = {},
+                                             LinearTracebackStats* stats = nullptr) {
+  return ydrop_linear_traceback(SeqView(a.data(), 1, a.size()),
+                                SeqView(b.data(), 1, b.size()), params, options, stats);
+}
 
 // Convenience overload for contiguous spans (tests, small inputs).
 inline OneSidedResult ydrop_one_sided_align(std::span<const BaseCode> a,

@@ -1,0 +1,299 @@
+// Shared row-sweep core of the y-drop DP.
+//
+// `ydrop_one_sided_align` (full-trace path) and `ydrop_linear_traceback`
+// (Hirschberg checkpoint-bisection path, ydrop_linear.cpp) must advance
+// rows with EXACTLY the same arithmetic, pruning, and packed traceback
+// codes: the linear path replays rows from checkpoints, and its output is
+// required to be bit-identical to the full path at every split point. One
+// shared row body makes that equivalence structural instead of aspirational.
+//
+// Internal header — everything here is an implementation detail of the two
+// drivers in src/align; nothing outside `fastz::detail` should include it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "align/gotoh_reference.hpp"
+#include "align/seq_view.hpp"
+#include "align/traceback.hpp"
+#include "score/score_params.hpp"
+
+namespace fastz::detail {
+
+// One DP row: scores for columns [lo, lo + width). Pruned cells store
+// kNegativeInfinity so downstream reads see them as unreachable — LASTZ's
+// hard-prune semantics. Buffers are reused across rows (the inner loop must
+// not allocate).
+struct ScoreRow {
+  std::uint32_t lo = 0;
+  std::uint32_t width = 0;
+  std::uint32_t first = 0;  // first viable column (absolute)
+  std::uint32_t last = 0;   // last viable column (absolute)
+  std::vector<Score> s;
+  std::vector<Score> gi;
+  std::vector<Score> gd;
+
+  void ensure_capacity(std::size_t n) {
+    if (s.size() < n) {
+      s.resize(n);
+      gi.resize(n);
+      gd.resize(n);
+    }
+  }
+};
+
+struct TraceRow {
+  std::uint32_t lo = 0;
+  std::vector<TraceCode> codes;
+};
+
+// Saturating add that keeps kNegativeInfinity absorbing.
+constexpr Score add_score(Score base, Score delta) noexcept {
+  return base <= kNegativeInfinity ? kNegativeInfinity : base + delta;
+}
+
+// Code of row-0 cell (0, j): the origin at j == 0, else the pure insertion
+// chain (opened at j == 1). Must match what init_row0 records — the linear
+// path synthesizes row-0 codes from this instead of materializing them.
+constexpr TraceCode row0_code(std::uint32_t j) noexcept {
+  return j == 0 ? make_trace(kTraceSrcOrigin, false, false)
+                : make_trace(kTraceSrcI, j == 1, false);
+}
+
+// Immutable per-call state of a row sweep.
+struct RowContext {
+  SeqView a;
+  SeqView b;
+  const ScoreParams* params = nullptr;
+  std::uint32_t n = 0;             // usable columns (after the max_cols clamp)
+  std::uint32_t max_right_run = 0; // insertion-chain reach past the prior row
+  Score open_extend = 0;
+  Score extend_only = 0;
+  bool sequential = false;         // PruneMode::kSequential
+};
+
+inline RowContext make_row_context(SeqView a, SeqView b, const ScoreParams& params,
+                                   std::uint32_t n, bool sequential) {
+  RowContext ctx;
+  ctx.a = a;
+  ctx.b = b;
+  ctx.params = &params;
+  ctx.n = n;
+  ctx.sequential = sequential;
+  // How far a viable insertion chain can run past the previous row's end:
+  // each step costs |gap_extend|, and the chain dies once it is ydrop below
+  // the best score.
+  const Score extend_cost = -params.gap_extend;
+  ctx.max_right_run =
+      extend_cost > 0
+          ? static_cast<std::uint32_t>((params.ydrop - params.gap_open) / extend_cost) + 2
+          : n + 1;
+  ctx.open_extend = params.gap_open + params.gap_extend;
+  ctx.extend_only = params.gap_extend;
+  return ctx;
+}
+
+// Row 0: a pure insertion run from the origin. Fills `prev` (and the codes
+// of `trow` when non-null) and returns the row width.
+inline std::uint32_t init_row0(const RowContext& ctx, ScoreRow& prev, TraceRow* trow) {
+  const ScoreParams& params = *ctx.params;
+  prev.ensure_capacity(std::size_t{std::min(ctx.n, ctx.max_right_run)} + 2);
+  prev.lo = 0;
+  prev.s[0] = 0;
+  prev.gi[0] = kNegativeInfinity;
+  prev.gd[0] = kNegativeInfinity;
+  std::uint32_t w = 1;
+  if (trow != nullptr) {
+    trow->lo = 0;
+    trow->codes.assign(1, row0_code(0));
+  }
+  for (std::uint32_t j = 1; j <= ctx.n; ++j) {
+    const Score gi = params.gap_open + static_cast<Score>(j) * params.gap_extend;
+    if (gi < -params.ydrop) break;  // best is still 0 at (0,0)
+    prev.s[w] = gi;
+    prev.gi[w] = gi;
+    prev.gd[w] = kNegativeInfinity;
+    ++w;
+    if (trow != nullptr) trow->codes.push_back(row0_code(j));
+  }
+  prev.width = w;
+  prev.first = 0;
+  prev.last = w - 1;
+  return w;
+}
+
+struct RowOutcome {
+  bool any_viable = false;
+  std::uint32_t first_viable = 0;
+  std::uint32_t last_viable = 0;
+  std::uint64_t cells = 0;  // DP cells computed by this row
+};
+
+// Advances one DP row: computes row `row` into `cur` from the completed row
+// `prev`, updating `best` exactly as the prune mode dictates (sequential:
+// cell-by-cell with a moving cutoff; conservative: merged after the row
+// from a cutoff frozen at the best of completed rows). When `trow` is
+// non-null the row's packed traceback codes are recorded (window [lo,
+// lo + codes.size())). The caller swaps prev/cur on a viable outcome and
+// terminates the sweep otherwise — identical control flow in every driver.
+inline RowOutcome advance_row(const RowContext& ctx, std::uint32_t row, ScoreRow& prev,
+                              ScoreRow& cur, BestCell& best, TraceRow* trow) {
+  const ScoreParams& params = *ctx.params;
+  RowOutcome outcome;
+
+  const std::uint32_t prev_lo = prev.lo;
+  const std::uint32_t prev_hi = prev_lo + prev.width;
+  const std::uint32_t start_lo = prev.first;
+
+  // Upper bound on this row's extent: the previous row's data plus a
+  // bounded insertion run (and never past column n).
+  const std::uint32_t j_cap = std::min(ctx.n, prev_hi + ctx.max_right_run);
+  cur.ensure_capacity(std::size_t{j_cap} - start_lo + 2);
+  cur.lo = start_lo;
+
+  // Conservative mode freezes the cutoff at the best of completed rows;
+  // sequential mode lets `best` advance within the row.
+  const bool sequential = ctx.sequential;
+  const Score frozen_cutoff = best.score - params.ydrop;
+  BestCell row_best = best;
+  Score cutoff = best.score - params.ydrop;
+
+  if (trow != nullptr) {
+    trow->lo = start_lo;
+    trow->codes.clear();
+    trow->codes.resize(std::size_t{j_cap} - start_lo + 2);
+  }
+
+  bool any_viable = false;
+  std::uint32_t first_viable = 0;
+  std::uint32_t last_viable = 0;
+
+  const BaseCode a_base = ctx.a[row - 1];
+  const Score* const sub_row = params.subst[a_base].data();
+
+  Score* const cs = cur.s.data();
+  Score* const ci = cur.gi.data();
+  Score* const cd = cur.gd.data();
+  const Score* const ps = prev.s.data();
+  const Score* const pd = prev.gd.data();
+  TraceCode* const tc = trow != nullptr ? trow->codes.data() : nullptr;
+
+  // Previous-row reads for absolute column j:
+  //   s_diag = prev S at j-1, s_up / d_up = prev S / D at j.
+  // Valid range for prev arrays: [prev_lo, prev_hi).
+  std::uint32_t out = 0;  // index into cur arrays (column start_lo + out)
+  Score left_s = kNegativeInfinity;  // cur row, column j-1
+  Score left_i = kNegativeInfinity;
+
+  std::uint32_t j = start_lo;
+  // Column 0 border cell (only when the region still touches column 0).
+  if (j == 0) {
+    const Score d_val = params.gap_open + static_cast<Score>(row) * params.gap_extend;
+    const bool viable = d_val >= (sequential ? cutoff : frozen_cutoff);
+    cs[0] = viable ? d_val : kNegativeInfinity;
+    ci[0] = kNegativeInfinity;
+    cd[0] = viable ? d_val : kNegativeInfinity;
+    if (tc != nullptr) tc[0] = make_trace(kTraceSrcD, false, row == 1);
+    if (viable) {
+      any_viable = true;
+      first_viable = 0;
+      last_viable = 0;
+      if (sequential) {
+        best.consider(cs[0], row, 0);
+        cutoff = best.score - params.ydrop;
+      } else {
+        row_best.consider(cs[0], row, 0);
+      }
+    }
+    left_s = cs[0];
+    left_i = ci[0];
+    ++outcome.cells;
+    out = 1;
+    j = 1;
+  }
+
+  for (; j <= j_cap; ++j, ++out) {
+    // I: gap in A — arrive from the left (current row).
+    const Score i_ext = add_score(left_i, ctx.extend_only);
+    const Score i_open = add_score(left_s, ctx.open_extend);
+    const bool i_opened = i_open >= i_ext;
+    const Score i_val = i_opened ? i_open : i_ext;
+
+    // D: gap in B — arrive from above (previous row).
+    const bool has_up = (j >= prev_lo) & (j < prev_hi);
+    const Score s_up = has_up ? ps[j - prev_lo] : kNegativeInfinity;
+    const Score d_up = has_up ? pd[j - prev_lo] : kNegativeInfinity;
+    const Score d_ext = add_score(d_up, ctx.extend_only);
+    const Score d_open = add_score(s_up, ctx.open_extend);
+    const bool d_opened = d_open >= d_ext;
+    const Score d_val = d_opened ? d_open : d_ext;
+
+    // S: diagonal vs the gap states (tie preference diag > I > D).
+    const bool has_diag = (j > prev_lo) & (j <= prev_hi);
+    const Score s_diag = has_diag ? ps[j - 1 - prev_lo] : kNegativeInfinity;
+    const Score diag = add_score(s_diag, sub_row[ctx.b[j - 1]]);
+    Score s_val = diag;
+    TraceCode s_src = kTraceSrcDiag;
+    if (i_val > s_val) {
+      s_val = i_val;
+      s_src = kTraceSrcI;
+    }
+    if (d_val > s_val) {
+      s_val = d_val;
+      s_src = kTraceSrcD;
+    }
+    ++outcome.cells;
+    if (tc != nullptr) tc[out] = make_trace(s_src, i_opened, d_opened);
+
+    const bool viable =
+        s_val > kNegativeInfinity && s_val >= (sequential ? cutoff : frozen_cutoff);
+    if (viable) {
+      cs[out] = s_val;
+      ci[out] = i_val;
+      cd[out] = d_val;
+      if (sequential) {
+        if (best.improved_by(s_val, row, j)) {
+          best = BestCell{s_val, row, j};
+          cutoff = s_val - params.ydrop;
+        }
+      } else {
+        row_best.consider(s_val, row, j);
+      }
+      if (!any_viable) {
+        any_viable = true;
+        first_viable = j;
+      }
+      last_viable = j;
+      left_s = s_val;
+      left_i = i_val;
+    } else {
+      cs[out] = kNegativeInfinity;
+      ci[out] = kNegativeInfinity;
+      cd[out] = kNegativeInfinity;
+      left_s = kNegativeInfinity;
+      left_i = kNegativeInfinity;
+      // Beyond the previous row's interval only the intra-row insertion
+      // chain can carry scores; once it breaks, the row is finished.
+      if (j + 1 > prev_hi) {
+        ++out;
+        break;
+      }
+    }
+  }
+
+  if (!sequential) best = row_best;
+
+  cur.width = out;
+  cur.first = first_viable;
+  cur.last = last_viable;
+  if (trow != nullptr && any_viable) trow->codes.resize(out);
+
+  outcome.any_viable = any_viable;
+  outcome.first_viable = first_viable;
+  outcome.last_viable = last_viable;
+  return outcome;
+}
+
+}  // namespace fastz::detail

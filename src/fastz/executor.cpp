@@ -10,6 +10,11 @@ struct SideExecution {
   std::vector<AlignOp> ops;
   std::uint64_t cells = 0;
   StripGeometry geom;
+  std::uint64_t traceback_bytes = 0;
+  std::uint64_t traceback_peak_bytes = 0;
+  std::uint64_t replay_cells = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  bool hirschberg = false;
   bool truncated = false;
 };
 
@@ -34,11 +39,32 @@ SideExecution execute_side(SeqView a, SeqView b, const BestCell& target,
   opts.trace_i = target.i;
   opts.trace_j = target.j;
 
+  // The dense rectangle costs one traceback byte per cell of the trimmed
+  // tile; above the area threshold that dominates the task's footprint and
+  // the linear-space path wins despite its replay overhead.
+  const std::uint64_t area = std::uint64_t{target.i} * target.j;
+  if (opts.hirschberg_area != 0 && area >= opts.hirschberg_area) {
+    LinearTracebackStats stats;
+    OneSidedResult r = ydrop_linear_traceback(a, b, params, opts, &stats);
+    side.ops = std::move(r.ops);
+    side.cells = r.cells;
+    side.geom = strip_geometry_from_bounds(r.row_bounds);
+    side.truncated = r.truncated;
+    side.traceback_bytes = stats.trace_cells;
+    side.traceback_peak_bytes = stats.peak_trace_bytes;
+    side.replay_cells = stats.replay_cells;
+    side.checkpoint_bytes = stats.peak_checkpoint_bytes;
+    side.hirschberg = true;
+    return side;
+  }
+
   OneSidedResult r = ydrop_one_sided_align(a, b, params, opts);
   side.ops = std::move(r.ops);
   side.cells = r.cells;
   side.geom = strip_geometry_from_bounds(r.row_bounds);
   side.truncated = r.truncated;
+  side.traceback_bytes = r.cells;  // one packed byte per computed cell
+  side.traceback_peak_bytes = r.cells;
   return side;
 }
 
@@ -73,7 +99,11 @@ ExecutorOutcome execute_seed(const Sequence& a, const Sequence& b,
   out.geom.warp_steps = left.geom.warp_steps + right.geom.warp_steps;
   out.geom.strips = left.geom.strips + right.geom.strips;
   out.geom.spill_cells = left.geom.spill_cells + right.geom.spill_cells;
-  out.traceback_bytes = out.cells;  // one packed byte per computed cell
+  out.traceback_bytes = left.traceback_bytes + right.traceback_bytes;
+  out.traceback_peak_bytes = left.traceback_peak_bytes + right.traceback_peak_bytes;
+  out.replay_cells = left.replay_cells + right.replay_cells;
+  out.checkpoint_bytes = left.checkpoint_bytes + right.checkpoint_bytes;
+  out.hirschberg = left.hirschberg || right.hirschberg;
   out.truncated = left.truncated || right.truncated;
   return out;
 }

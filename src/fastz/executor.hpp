@@ -13,6 +13,13 @@
 // Traceback state is packed one byte per cell (2 bits for S's 3-way choice,
 // 1 bit each for I and D — Section 3.1.3) and, in the modeled memory
 // system, staged through shared memory into full cache-line writes.
+//
+// Long tail: when a side's trimmed rectangle reaches
+// `OneSidedOptions::hirschberg_area`, the executor switches that side to
+// `ydrop_linear_traceback` — same DP, same op list (bit-identical), but
+// traceback state bounded to O(n + m) via checkpoint bisection instead of
+// one byte per cell of the whole rectangle. The rectangle recompute is kept
+// for small bins, where a dense block is cheaper than replaying.
 #pragma once
 
 #include <cstdint>
@@ -27,7 +34,18 @@ struct ExecutorOutcome {
   Alignment alignment;            // global coordinates, ops populated
   std::uint64_t cells = 0;        // DP cells recomputed by the executor
   StripGeometry geom;             // warp-strip geometry of the executed region
-  std::uint64_t traceback_bytes = 0;  // one packed byte per computed cell
+  // Traceback bytes written over the task's lifetime: one packed byte per
+  // computed cell on the dense path, only the materialized base-block cells
+  // on the linear path.
+  std::uint64_t traceback_bytes = 0;
+  // High-water mark of traceback bytes resident at once. Dense: the whole
+  // rectangle (== traceback_bytes). Linear: one base block, O(n + m).
+  std::uint64_t traceback_peak_bytes = 0;
+  // Linear path only: DP cells recomputed by checkpoint replay, and the
+  // peak bytes of live score-row checkpoints.
+  std::uint64_t replay_cells = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  bool hirschberg = false;        // at least one side took the linear path
   bool truncated = false;
 };
 

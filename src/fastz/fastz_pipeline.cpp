@@ -53,6 +53,33 @@ void check_cyclic_materialization(std::uint64_t spill_bytes, std::uint64_t warp_
   }
 }
 
+// Linear-traceback invariant: a Hirschberg task's resident traceback state
+// is at most one base block — (block_rows + 1) rows of packed codes over a
+// window no wider than the task's extents. More than that means the
+// accounting materialized rectangle-shaped state the bisection is supposed
+// to have eliminated, so it is a hard modeling error, mirroring
+// check_cyclic_materialization for score state.
+void check_linear_traceback(std::uint64_t peak_trace_bytes, std::uint64_t extent,
+                            std::uint32_t block_rows) {
+  if (peak_trace_bytes > std::uint64_t{block_rows + 1} * (extent + 2)) {
+    throw std::logic_error(
+        "hirschberg path materialized more traceback state than one base "
+        "block (O(n+m) bound violated)");
+  }
+}
+
+// Scales a replay-free quantity by the Hirschberg recompute factor
+// (1 + replay_cells / cells). `ceil` rounds the scaled value up — used for
+// warp steps so the cyclic-materialization invariant survives the scaling
+// of both sides of its inequality.
+std::uint64_t scale_by_replay(std::uint64_t value, std::uint64_t replay_cells,
+                              std::uint64_t cells, bool ceil) {
+  if (cells == 0 || replay_cells == 0 || value == 0) return value;
+  const unsigned __int128 num =
+      static_cast<unsigned __int128>(value) * replay_cells + (ceil ? cells - 1 : 0);
+  return value + static_cast<std::uint64_t>(num / cells);
+}
+
 // Registry export of one derive()'s outcome: modeled stage times, ledger
 // traffic, and the executor's per-bin work composition. Called only when
 // telemetry is enabled.
@@ -64,6 +91,7 @@ void record_derive(const FastzRun& run,
   reg.counter("fastz.derive.executor_kernels").add(run.executor_kernels);
   reg.counter("fastz.derive.eager_handled").add(run.eager_handled);
   reg.counter("fastz.derive.executor_tasks").add(run.executor_tasks);
+  reg.counter("fastz.derive.hirschberg_tasks").add(run.hirschberg_tasks);
 
   reg.counter("fastz.modeled.inspector_ns")
       .add(static_cast<std::uint64_t>(run.modeled.inspector_s * 1e9));
@@ -82,7 +110,11 @@ void record_derive(const FastzRun& run,
   reg.counter("fastz.ledger.host_copy_bytes").add(led.host_copy_bytes);
   reg.counter("fastz.ledger.register_elided_bytes").add(led.register_elided_bytes);
   reg.counter("fastz.ledger.shared_staged_bytes").add(led.shared_staged_bytes);
+  reg.counter("fastz.ledger.traceback_resident_bytes").add(led.traceback_resident_bytes);
 
+  // The trailing slot is the Hirschberg task group; its "cells" are resident
+  // traceback bytes like every other slot's (the allocation the memory
+  // batcher packs), not DP cells.
   for (std::size_t bin = 0; bin < bin_tasks.size(); ++bin) {
     if (bin_tasks[bin].empty()) continue;
     std::uint64_t instructions = 0;
@@ -93,7 +125,9 @@ void record_derive(const FastzRun& run,
       mem_bytes += task.mem_bytes;
     }
     for (const std::uint64_t alloc : bin_allocs[bin]) cells += alloc;
-    const std::string prefix = "fastz.executor.bin" + std::to_string(bin);
+    const std::string prefix = bin + 1 == bin_tasks.size()
+                                   ? std::string("fastz.executor.hirschberg")
+                                   : "fastz.executor.bin" + std::to_string(bin);
     reg.counter(prefix + ".tasks").add(bin_tasks[bin].size());
     reg.counter(prefix + ".cells").add(cells);
     reg.counter(prefix + ".warp_instructions").add(instructions);
@@ -123,6 +157,12 @@ void FastzStudy::pass_seed(const Sequence& a, const Sequence& b,
         execute_seed(a, b, work.inspection, params, functional, base.one_sided);
     work.trimmed_cells = exec.cells;
     work.trimmed_geom = exec.geom;
+    work.trimmed_tb_bytes = exec.traceback_bytes;
+    work.trimmed_tb_peak_bytes = exec.traceback_peak_bytes;
+    work.trimmed_replay_cells = exec.replay_cells;
+    work.trimmed_checkpoint_bytes = exec.checkpoint_bytes;
+    work.hirschberg_block_rows = std::max(1u, base.one_sided.hirschberg_block_rows);
+    work.hirschberg = exec.hirschberg;
     if (exec.alignment.score >= params.gapped_threshold) {
       work.has_alignment = true;
       executed[idx] = std::move(exec.alignment);
@@ -400,8 +440,14 @@ FastzRun FastzStudy::derive(const FastzConfig& config, const gpusim::DeviceSpec&
   // pack many more seed extensions into one kernel"). Untrimmed executors
   // allocate the whole search space — the footprint difference is what
   // batching makes visible.
-  std::vector<std::vector<gpusim::WarpTask>> bin_tasks(config.bin_edges.size() + 1);
-  std::vector<std::vector<std::uint64_t>> bin_allocs(config.bin_edges.size() + 1);
+  // One slot per length bin, plus a dedicated trailing slot for Hirschberg
+  // tasks: their warp work includes checkpoint replay and their footprint is
+  // O(n+m), so lumping them into bin 3 would hide exactly the behavior the
+  // linear path changes. The slot becomes the `executor.hirschberg` kernel
+  // tag under the profiler.
+  const std::size_t hb_slot = config.bin_edges.size() + 1;
+  std::vector<std::vector<gpusim::WarpTask>> bin_tasks(config.bin_edges.size() + 2);
+  std::vector<std::vector<std::uint64_t>> bin_allocs(config.bin_edges.size() + 2);
   std::vector<std::vector<gpusim::MemoryLedger>> bin_traffic(
       prof != nullptr ? bin_tasks.size() : 0);
   TaskAccumulator exec;
@@ -435,43 +481,68 @@ FastzRun FastzStudy::derive(const FastzConfig& config, const gpusim::DeviceSpec&
       cells = work.trimmed_cells;
       geom = work.trimmed_geom;
     }
-    run.executor_cells += cells;
+
+    // Hirschberg tasks replay rows from checkpoints; their warp work and
+    // score traffic scale by (1 + replay/cells), but the traceback bytes
+    // shrink to the materialized base blocks. Only the trimmed path has the
+    // accounting (the functional pass always runs trimmed); the untrimmed
+    // ablation models the one-pass dense executor regardless.
+    const bool hb = config.executor_trimming && !eligible && work.hirschberg;
+    const std::uint64_t replay = hb ? work.trimmed_replay_cells : 0;
+    const std::uint64_t steps = scale_by_replay(geom.warp_steps, replay, cells, true);
+    const std::uint64_t spill_cells = scale_by_replay(geom.spill_cells, replay, cells, false);
+    run.executor_cells += cells + replay;
 
     gpusim::WarpTask task;
-    task.warp_instructions = geom.warp_steps * gpusim::kOpsPerCell;
-    const std::uint64_t seq_bytes = geom.warp_steps * kSequenceBytesPerStep;
+    task.warp_instructions = steps * gpusim::kOpsPerCell;
+    const std::uint64_t seq_bytes = steps * kSequenceBytesPerStep;
     exec.ledger.sequence_bytes += seq_bytes;
 
     std::uint64_t score_traffic;
     std::uint64_t spill = 0, elided = 0, reads = 0, writes = 0;
     if (config.cyclic_buffers) {
-      spill = geom.spill_cells * gpusim::kBoundarySpillBytes;
-      check_cyclic_materialization(spill, geom.warp_steps);
-      const std::uint64_t would_be = cells * kScoreBytesPerCell;
+      spill = spill_cells * gpusim::kBoundarySpillBytes;
+      check_cyclic_materialization(spill, steps);
+      const std::uint64_t would_be = (cells + replay) * kScoreBytesPerCell;
       elided = would_be > spill ? would_be - spill : 0;
       exec.ledger.boundary_spill_bytes += spill;
       exec.ledger.register_elided_bytes += elided;
       score_traffic = spill;
     } else {
-      reads = cells * gpusim::kScoreReadBytesPerCell;
-      writes = cells * gpusim::kScoreWriteBytesPerCell;
+      reads = (cells + replay) * gpusim::kScoreReadBytesPerCell;
+      writes = (cells + replay) * gpusim::kScoreWriteBytesPerCell;
       exec.ledger.score_read_bytes += reads;
       exec.ledger.score_write_bytes += writes;
       score_traffic = reads + writes;
     }
+    const std::uint64_t tb_bytes = hb ? work.trimmed_tb_bytes : cells;
     const std::uint64_t tb_wire =
-        config.staged_traceback_writes ? cells : cells * gpusim::kSectorBytes;
-    exec.ledger.traceback_bytes += cells;
+        config.staged_traceback_writes ? tb_bytes : tb_bytes * gpusim::kSectorBytes;
+    exec.ledger.traceback_bytes += tb_bytes;
     exec.ledger.traceback_wire_bytes += tb_wire;
-    if (config.staged_traceback_writes) exec.ledger.shared_staged_bytes += cells;
+    if (config.staged_traceback_writes) exec.ledger.shared_staged_bytes += tb_bytes;
+
+    // Device-resident footprint of this problem: the whole packed rectangle
+    // on the dense path (one byte per computed cell), one base block plus
+    // live checkpoints on the linear path.
+    std::uint64_t alloc = cells;
+    if (hb) {
+      alloc = work.trimmed_tb_peak_bytes + work.trimmed_checkpoint_bytes;
+      check_linear_traceback(work.trimmed_tb_peak_bytes,
+                             std::uint64_t{ins.a_extent()} + ins.b_extent(),
+                             work.hirschberg_block_rows);
+      ++run.hirschberg_tasks;
+    }
+    exec.ledger.traceback_resident_bytes += alloc;
 
     task.mem_bytes = score_traffic + tb_wire + seq_bytes;
     const std::size_t bin =
-        eligible ? 0 : std::min(bin_index(ins.box(), config.bin_edges), bin_tasks.size() - 1);
+        hb ? hb_slot
+           : (eligible ? 0
+                       : std::min(bin_index(ins.box(), config.bin_edges),
+                                  config.bin_edges.size()));
     bin_tasks[bin].push_back(task);
-    // Device-resident footprint of this problem: its packed traceback
-    // allocation (one byte per computed cell).
-    bin_allocs[bin].push_back(cells);
+    bin_allocs[bin].push_back(alloc);
     if (prof != nullptr) {
       gpusim::MemoryLedger task_led;
       task_led.sequence_bytes = seq_bytes;
@@ -479,9 +550,10 @@ FastzRun FastzStudy::derive(const FastzConfig& config, const gpusim::DeviceSpec&
       task_led.register_elided_bytes = elided;
       task_led.score_read_bytes = reads;
       task_led.score_write_bytes = writes;
-      if (config.staged_traceback_writes) task_led.shared_staged_bytes = cells;
-      task_led.traceback_bytes = cells;
+      if (config.staged_traceback_writes) task_led.shared_staged_bytes = tb_bytes;
+      task_led.traceback_bytes = tb_bytes;
       task_led.traceback_wire_bytes = tb_wire;
+      task_led.traceback_resident_bytes = alloc;
       bin_traffic[bin].push_back(task_led);
     }
   }
@@ -519,7 +591,8 @@ FastzRun FastzStudy::derive(const FastzConfig& config, const gpusim::DeviceSpec&
 
     for (std::size_t part = 0; part < batches.size(); ++part) {
       gpusim::KernelTag tag;
-      tag.name = "executor.bin" + std::to_string(bin);
+      tag.name = bin == hb_slot ? "executor.hirschberg"
+                                : "executor.bin" + std::to_string(bin);
       if (batches.size() > 1) tag.name += ".part" + std::to_string(part);
       tag.phase = "executor";
       tag.bin = static_cast<std::int32_t>(bin);

@@ -55,6 +55,7 @@ struct FastzRun {
   std::uint64_t executor_kernels = 0;  // bin kernels after memory batching
   std::uint64_t inspector_cells = 0;  // search-space cells (conservative y-drop)
   std::uint64_t executor_cells = 0;   // cells the executor recomputed
+  std::uint64_t hirschberg_tasks = 0;  // executor tasks on the linear path
 };
 
 // Per-seed record from the functional pass.
@@ -63,6 +64,16 @@ struct SeedWork {
   // Trimmed-executor metrics (valid when the seed is not eager-eligible).
   std::uint64_t trimmed_cells = 0;
   StripGeometry trimmed_geom;
+  // Traceback accounting of the trimmed executor run. On the dense path
+  // bytes == peak == trimmed_cells; on the Hirschberg path bytes are the
+  // materialized base-block cells, peak the one-block high-water mark, and
+  // replay/checkpoint the bisection overheads (see ExecutorOutcome).
+  std::uint64_t trimmed_tb_bytes = 0;
+  std::uint64_t trimmed_tb_peak_bytes = 0;
+  std::uint64_t trimmed_replay_cells = 0;
+  std::uint64_t trimmed_checkpoint_bytes = 0;
+  std::uint32_t hirschberg_block_rows = 0;  // block height the run used
+  bool hirschberg = false;                  // executor took the linear path
   bool has_alignment = false;  // combined score cleared the threshold
 };
 

@@ -68,9 +68,10 @@ struct LaneFiles {
 // per-cell traceback store and the per-step divergence census out of the
 // hot loop at compile time: the score-only instantiation carries no
 // bookkeeping branches in the lane loop at all.
-template <bool WantTrace, bool Census>
+template <bool WantTrace, bool Census, bool Banded = false>
 void run_strips(SeqView a, SeqView b, const ScoreParams& params,
-                StripKernelResult& result) {
+                StripKernelResult& result, std::uint32_t band_begin = 0,
+                std::uint32_t band_end = 0) {
   const auto m = static_cast<std::uint32_t>(a.size());
   const auto n = static_cast<std::uint32_t>(b.size());
   const std::size_t stride = std::size_t{n} + 1;
@@ -197,7 +198,14 @@ void run_strips(SeqView a, SeqView b, const ScoreParams& params,
           ++active_lanes;
         }
         if constexpr (WantTrace) {
-          result.trace[std::size_t{i} * stride + j] = make_trace(s_src, i_opened, d_opened);
+          if constexpr (Banded) {
+            if (i >= band_begin && i < band_end) {
+              result.trace[std::size_t{i - band_begin} * stride + j] =
+                  make_trace(s_src, i_opened, d_opened);
+            }
+          } else {
+            result.trace[std::size_t{i} * stride + j] = make_trace(s_src, i_opened, d_opened);
+          }
         }
         if (spill && l == last_lane) {
           next_bound_s[i] = s_val;
@@ -234,27 +242,46 @@ StripKernelResult strip_rectangle_dp(SeqView a, SeqView b, const ScoreParams& pa
   params.validate();
   const auto m = static_cast<std::uint32_t>(a.size());
   const auto n = static_cast<std::uint32_t>(b.size());
-  if (opts.want_traceback && (m > kStripKernelMaxDim || n > kStripKernelMaxDim)) {
+  const bool banded = opts.want_traceback && opts.trace_row_end > opts.trace_row_begin;
+  if (opts.want_traceback && !banded &&
+      (m > kStripKernelMaxDim || n > kStripKernelMaxDim)) {
     throw std::invalid_argument("strip_rectangle_dp: rectangle too large for dense traceback");
+  }
+  if (banded && (n > kStripKernelMaxDim ||
+                 opts.trace_row_end - opts.trace_row_begin > kStripKernelMaxDim)) {
+    throw std::invalid_argument("strip_rectangle_dp: trace band too large for dense traceback");
   }
 
   StripKernelResult result;
   result.best = BestCell{0, 0, 0};
   const std::size_t stride = std::size_t{n} + 1;
+  const std::uint32_t band_begin = banded ? opts.trace_row_begin : 0;
+  const std::uint32_t band_end = banded ? opts.trace_row_end : m + 1;
   if (opts.want_traceback) {
-    result.trace.assign((std::size_t{m} + 1) * stride,
+    result.trace.assign(std::size_t{band_end - band_begin} * stride,
                         make_trace(kTraceSrcOrigin, false, false));
-    // Border codes: row 0 is an insertion chain, column 0 a deletion chain.
-    for (std::uint32_t j = 1; j <= n; ++j) {
-      result.trace[j] = make_trace(kTraceSrcI, j == 1, false);
-    }
-    for (std::uint32_t i = 1; i <= m; ++i) {
-      result.trace[std::size_t{i} * stride] = make_trace(kTraceSrcD, false, i == 1);
+    // Border codes of the traced rows: row 0 is an insertion chain, column 0
+    // a deletion chain.
+    for (std::uint32_t i = band_begin; i < band_end; ++i) {
+      const std::size_t base = std::size_t{i - band_begin} * stride;
+      if (i == 0) {
+        for (std::uint32_t j = 1; j <= n; ++j) {
+          result.trace[base + j] = make_trace(kTraceSrcI, j == 1, false);
+        }
+      } else if (i <= m) {
+        result.trace[base] = make_trace(kTraceSrcD, false, i == 1);
+      }
     }
   }
   if (m == 0 || n == 0) return result;
 
-  if (opts.want_traceback) {
+  if (banded) {
+    if (opts.divergence_census) {
+      run_strips<true, true, true>(a, b, params, result, band_begin, band_end);
+    } else {
+      run_strips<true, false, true>(a, b, params, result, band_begin, band_end);
+    }
+  } else if (opts.want_traceback) {
     if (opts.divergence_census) {
       run_strips<true, true>(a, b, params, result);
     } else {
@@ -268,7 +295,7 @@ StripKernelResult strip_rectangle_dp(SeqView a, SeqView b, const ScoreParams& pa
     }
   }
 
-  if (opts.want_traceback) {
+  if (opts.want_traceback && !banded) {
     result.ops = walk_traceback(result.best.i, result.best.j,
                                 [&](std::uint32_t i, std::uint32_t j) {
                                   return result.trace[std::size_t{i} * stride + j];

@@ -75,11 +75,23 @@ struct StripKernelResult {
 struct StripKernelOptions {
   bool want_traceback = false;
   bool divergence_census = true;
+  // Row band [trace_row_begin, trace_row_end) to emit traceback codes for;
+  // equal values (the default) mean the full rectangle. A banded run is the
+  // device shape of the Hirschberg executor's base block: the kernel sweeps
+  // every row (scores are exact), but only the banded rows' codes reach the
+  // trace buffer, so the allocation is band_rows x (n + 1) instead of
+  // (m + 1) x (n + 1). Banded runs do not walk `ops` — the rectangle's path
+  // can leave the band, and the divide-and-conquer walker owns the stitch.
+  std::uint32_t trace_row_begin = 0;
+  std::uint32_t trace_row_end = 0;
 };
 
 // Computes the full (m+1) x (n+1) rectangle for A[0..m) x B[0..n).
 // `want_traceback` allocates the dense trace buffer, so m and n are capped
 // (throws std::invalid_argument beyond `kStripKernelMaxDim` with traceback).
+// With a row band set, only the band height and n are capped — m may exceed
+// kStripKernelMaxDim, which is the point: long-tail tiles trace in O(n+m)
+// per block. Banded trace is indexed (i - trace_row_begin) * (n+1) + j.
 StripKernelResult strip_rectangle_dp(SeqView a, SeqView b, const ScoreParams& params,
                                      const StripKernelOptions& opts);
 

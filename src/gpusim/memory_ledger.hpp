@@ -35,6 +35,13 @@ struct MemoryLedger {
   // shared-memory staging line before reaching DRAM.
   std::uint64_t register_elided_bytes = 0;
   std::uint64_t shared_staged_bytes = 0;
+  // Device-resident traceback allocation, summed over tasks at each task's
+  // own high-water mark (an allocation footprint, not traffic — hence not in
+  // device_bytes()). Dense rectangle tasks contribute their whole packed
+  // matrix; Hirschberg tasks contribute one base block plus live
+  // checkpoints, O(n + m) per task. This is the number the linear-space
+  // path exists to shrink.
+  std::uint64_t traceback_resident_bytes = 0;
 
   std::uint64_t device_bytes() const noexcept {
     return score_read_bytes + score_write_bytes + boundary_spill_bytes +
@@ -72,6 +79,7 @@ struct MemoryLedger {
     host_copy_bytes += other.host_copy_bytes;
     register_elided_bytes += other.register_elided_bytes;
     shared_staged_bytes += other.shared_staged_bytes;
+    traceback_resident_bytes += other.traceback_resident_bytes;
   }
 };
 

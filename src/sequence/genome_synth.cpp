@@ -111,6 +111,54 @@ std::vector<PlannedSegment> plan_segments(const PairModel& model, Xoshiro256& rn
 
 }  // namespace
 
+std::vector<LongTailPreset> longtail_presets(double scale) {
+  if (scale <= 0.0) {
+    throw std::invalid_argument("longtail_presets: scale must be positive");
+  }
+  std::vector<LongTailPreset> presets;
+  for (const std::uint64_t multiple : {std::uint64_t{10}, std::uint64_t{32},
+                                       std::uint64_t{100}}) {
+    LongTailPreset p;
+    p.label = std::to_string(multiple) + "x";
+    p.multiple = multiple;
+    p.segment_len = std::max<std::uint64_t>(
+        1024, static_cast<std::uint64_t>(
+                  std::llround(static_cast<double>(multiple * kLongTailUnit) * scale)));
+    p.flank = std::clamp<std::uint64_t>(p.segment_len / 32, 256, 8192);
+    p.channel.indel_rate = 0.0005;
+    p.channel.indel_extend = 0.3;
+    presets.push_back(std::move(p));
+  }
+  return presets;
+}
+
+SyntheticPair longtail_pair(const LongTailPreset& preset, std::uint64_t seed) {
+  if (preset.segment_len == 0) {
+    throw std::invalid_argument("longtail_pair: zero segment length");
+  }
+  Xoshiro256 rng(seed);
+  SyntheticPair pair;
+  pair.a = random_sequence("longtailA",
+                           preset.segment_len + 2 * preset.flank, rng);
+
+  std::vector<BaseCode> b;
+  b.reserve(pair.a.size() + pair.a.size() / 64);
+  for (std::uint64_t k = 0; k < preset.flank; ++k) {
+    b.push_back(static_cast<BaseCode>(rng.below(4)));
+  }
+  const std::uint64_t b_begin = b.size();
+  const auto core = pair.a.codes(preset.flank, preset.segment_len);
+  auto mutated = mutate_segment(core, preset.identity, preset.channel, rng);
+  b.insert(b.end(), mutated.begin(), mutated.end());
+  pair.segments.push_back({preset.flank, preset.segment_len, b_begin,
+                           b.size() - b_begin, preset.identity, false});
+  for (std::uint64_t k = 0; k < preset.flank; ++k) {
+    b.push_back(static_cast<BaseCode>(rng.below(4)));
+  }
+  pair.b = Sequence("longtailB", std::move(b));
+  return pair;
+}
+
 SyntheticPair generate_pair(const PairModel& model, std::uint64_t seed,
                             std::string name_a, std::string name_b) {
   if (model.length_a == 0) throw std::invalid_argument("generate_pair: zero length");

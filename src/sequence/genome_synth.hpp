@@ -89,6 +89,35 @@ struct SyntheticPair {
   std::vector<SegmentRecord> segments;
 };
 
+// ---- Long-tail presets (the Hirschberg linear-space path). ----------------
+//
+// The paper's load-balancing bins stop at 32768 bp; alignments beyond that
+// edge are the "long tail" where the dense per-cell traceback rectangle
+// stops fitting and the executor switches to checkpoint-bisection
+// (O(n + m) resident state). These presets synthesize single-homology pairs
+// whose optimal alignment is a fixed multiple of that edge — 10x, 32x and
+// 100x — for the memory-ledger sweep and bench_longtail.
+inline constexpr std::uint64_t kLongTailUnit = 32768;  // last bin edge
+
+struct LongTailPreset {
+  std::string label;              // "10x" | "32x" | "100x" (of kLongTailUnit)
+  std::uint64_t multiple = 0;
+  std::uint64_t segment_len = 0;  // multiple * kLongTailUnit, after scaling
+  std::uint64_t flank = 0;        // unrelated DNA on each side of the segment
+  double identity = 0.97;         // high identity keeps the y-drop band narrow
+  MutationChannel channel;        // low indel rate, same reason
+};
+
+// The three presets, scaled by `scale` (1.0 = full size, smaller values for
+// smoke runs; segment lengths never drop below 1024 bp).
+std::vector<LongTailPreset> longtail_presets(double scale = 1.0);
+
+// Builds A = flank | core | flank, B = flank' | mutate(core) | flank' with
+// exactly one SegmentRecord (deterministic placement — the density-sampled
+// generate_pair cannot guarantee a single megabase segment survives
+// rejection sampling). Deterministic in `seed`.
+SyntheticPair longtail_pair(const LongTailPreset& preset, std::uint64_t seed);
+
 // Generates random DNA with uniform base composition.
 Sequence random_sequence(std::string name, std::uint64_t length, Xoshiro256& rng);
 

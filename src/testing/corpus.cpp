@@ -173,6 +173,59 @@ void fill_service_pipeline(FuzzCase& c, Xoshiro256& rng) {
   c.pipeline.sample_seed = rng();
 }
 
+void fill_long_related(FuzzCase& c, Xoshiro256& rng) {
+  // The long tail the Hirschberg executor path serves: a 33-49 kbp related
+  // pair (just under the 49152 exploration cap) at high identity, so one
+  // extension sweeps tens of thousands of rows inside a narrow y-drop band.
+  // One-sided checks only (diff_hirschberg); the pipeline budget stays tiny.
+  // The case itself must NOT lower hirschberg_area — the differ forces the
+  // linear path explicitly, keeping the weighted corpus affordable under
+  // sanitizers.
+  c.a = random_sequence("a", 33000 + rng.below(16001), rng);
+  c.b = mutated_copy(c.a, 0.96 + 0.03 * rng.uniform(), 0.001, rng);
+  c.params = lastz_default_params();
+  c.params.ydrop = 1200 + static_cast<Score>(rng.below(2)) * 600;
+  c.pipeline.max_seeds = 3;
+  c.pipeline.sample_seed = rng();
+}
+
+void fill_long_structural_indel(FuzzCase& c, Xoshiro256& rng) {
+  // Homologous run up to the 32768 bin-3 edge, then a structural indel far
+  // larger than any y-drop can bridge: the extension dies against the break,
+  // so the trimmed tile straddles bin 3 and the traceback ends right at a
+  // Hirschberg split region.
+  const std::size_t seg1 = 32768 + rng.below(3) - 1;  // 32767..32769
+  const std::size_t sv = 5000 + rng.below(4001);
+  const std::size_t tail = 4000 + rng.below(2001);
+  const double identity = 0.96 + 0.02 * rng.uniform();
+  MutationChannel channel;
+  channel.indel_rate = 0.001;
+
+  const Sequence head = random_sequence("head", seg1, rng);
+  const Sequence tail_seq = random_sequence("tail", tail, rng);
+  const Sequence sv_seq = random_sequence("sv", sv, rng);
+  std::vector<BaseCode> a_codes(head.codes().begin(), head.codes().end());
+  std::vector<BaseCode> b_codes = mutate_segment(head.codes(), identity, channel, rng);
+  if (rng.chance(0.5)) {
+    // Deletion in B: A carries the SV segment, B jumps straight to the tail.
+    a_codes.insert(a_codes.end(), sv_seq.codes().begin(), sv_seq.codes().end());
+  } else {
+    // Insertion in B: B carries novel sequence A never had.
+    b_codes.insert(b_codes.end(), sv_seq.codes().begin(), sv_seq.codes().end());
+  }
+  a_codes.insert(a_codes.end(), tail_seq.codes().begin(), tail_seq.codes().end());
+  const std::vector<BaseCode> tail_mut =
+      mutate_segment(tail_seq.codes(), identity, channel, rng);
+  b_codes.insert(b_codes.end(), tail_mut.begin(), tail_mut.end());
+
+  c.a = Sequence("a", std::move(a_codes));
+  c.b = Sequence("b", std::move(b_codes));
+  c.params = lastz_default_params();
+  c.params.ydrop = 1200 + static_cast<Score>(rng.below(2)) * 600;
+  c.pipeline.max_seeds = 3;
+  c.pipeline.sample_seed = rng();
+}
+
 }  // namespace
 
 const char* case_kind_name(CaseKind kind) noexcept {
@@ -186,8 +239,19 @@ const char* case_kind_name(CaseKind kind) noexcept {
     case CaseKind::kPipelineExact: return "pipeline-exact";
     case CaseKind::kPipeline: return "pipeline";
     case CaseKind::kServicePipeline: return "service-pipeline";
+    case CaseKind::kLongRelated: return "long-related";
+    case CaseKind::kLongStructuralIndel: return "long-structural-indel";
   }
   return "unknown";
+}
+
+CaseKind parse_case_kind(std::string_view name) {
+  for (std::size_t k = 0; k < kCaseKindCount; ++k) {
+    const auto kind = static_cast<CaseKind>(k);
+    if (name == case_kind_name(kind)) return kind;
+  }
+  throw std::invalid_argument("parse_case_kind: unknown kind '" + std::string(name) +
+                              "' (see case_kind_name for the list)");
 }
 
 FuzzCase make_case_of_kind(std::uint64_t seed, CaseKind kind) {
@@ -207,6 +271,8 @@ FuzzCase make_case_of_kind(std::uint64_t seed, CaseKind kind) {
     case CaseKind::kPipelineExact: fill_pipeline_exact(c, rng); break;
     case CaseKind::kPipeline: fill_pipeline(c, rng); break;
     case CaseKind::kServicePipeline: fill_service_pipeline(c, rng); break;
+    case CaseKind::kLongRelated: fill_long_related(c, rng); break;
+    case CaseKind::kLongStructuralIndel: fill_long_structural_indel(c, rng); break;
   }
   c.params.validate();
   return c;
@@ -230,12 +296,16 @@ FuzzCase make_case(std::uint64_t seed) {
     kind = CaseKind::kBinBoundary;
   } else if (pick < 80) {
     kind = CaseKind::kDegenerate;
-  } else if (pick < 90) {
+  } else if (pick < 88) {
     kind = CaseKind::kPipelineExact;
-  } else if (pick < 95) {
+  } else if (pick < 93) {
     kind = CaseKind::kPipeline;
-  } else {
+  } else if (pick < 96) {
     kind = CaseKind::kServicePipeline;
+  } else if (pick < 98) {
+    kind = CaseKind::kLongRelated;
+  } else {
+    kind = CaseKind::kLongStructuralIndel;
   }
   return make_case_of_kind(seed, kind);
 }

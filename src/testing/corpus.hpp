@@ -38,10 +38,17 @@ enum class CaseKind : std::uint8_t {
   kServicePipeline,     // pair replayed through the batching alignment server
                         // (micro-batched, coalesced, cached): every reply must
                         // be bit-identical to the direct FastzStudy
+  kLongRelated,         // 33-49 kbp related pair: the long tail the Hirschberg
+                        // executor path serves; Hirschberg vs full-traceback
+  kLongStructuralIndel, // homology up to the 32768 bin-3 edge, then a 5-9 kbp
+                        // structural indel the y-drop cannot bridge
 };
-inline constexpr std::size_t kCaseKindCount = 9;
+inline constexpr std::size_t kCaseKindCount = 11;
 
 const char* case_kind_name(CaseKind kind) noexcept;
+// Parses a kind name as printed by case_kind_name ("one-sided-random",
+// "long-related", ...). Throws std::invalid_argument on anything else.
+CaseKind parse_case_kind(std::string_view name);
 
 struct FuzzCase {
   std::uint64_t seed = 0;

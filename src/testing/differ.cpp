@@ -105,6 +105,28 @@ void diff_one_sided_exact(DiffResult& out, const FuzzCase& c, InjectedBug bug) {
              tag(c, "conservative y-drop cigar " + cigar_of(cons.ops) +
                         " != reference " + cigar_of(ref.ops)));
 
+  // Linear-space (Hirschberg) traceback, forced with a tiny block height so
+  // even 100 bp cases bisect several times. Subject of the split canary; an
+  // exception is itself a divergence (the linear path must never throw on
+  // valid inputs).
+  OneSidedOptions lin_opts;
+  lin_opts.hirschberg_block_rows = 4;
+  if (bug == InjectedBug::kHirschbergSplit) lin_opts.hirschberg_split_skew = 1;
+  try {
+    OneSidedResult lin =
+        ydrop_linear_traceback(c.a.codes(), c.b.codes(), subj, lin_opts);
+    tamper(lin, bug);
+    out.expect(lin.best.score == ref.best.score && lin.best.i == ref.best.i &&
+                   lin.best.j == ref.best.j,
+               tag(c, "hirschberg y-drop best " + cell_str(lin.best) +
+                          " != reference " + cell_str(ref.best)));
+    out.expect(lin.ops == ref.ops,
+               tag(c, "hirschberg y-drop cigar " + cigar_of(lin.ops) +
+                          " != reference " + cigar_of(ref.ops)));
+  } catch (const std::exception& e) {
+    out.expect(false, tag(c, std::string("hirschberg y-drop threw: ") + e.what()));
+  }
+
   if (c.a.size() <= kStripKernelMaxDim && c.b.size() <= kStripKernelMaxDim) {
     const StripKernelResult strip =
         strip_rectangle_dp(SeqView(c.a.codes().data(), 1, c.a.size()),
@@ -165,6 +187,73 @@ void diff_pruned(DiffResult& out, const FuzzCase& c, InjectedBug bug) {
       check_rescore(out, c, "trimmed executor", trimmed.ops, cons.best.i, cons.best.j,
                     cons.best.score);
     }
+  }
+}
+
+// ---- Long-tail kinds: the Hirschberg executor path vs the full-traceback
+// executor. The quadratic reference is unaffordable at 33-49 kbp; the dense
+// trimmed-rectangle re-run is the oracle, and the comparison is exact —
+// best cell, cells, and the complete op list. The linear path is the
+// subject of every injected bug.
+void diff_hirschberg(DiffResult& out, const FuzzCase& c, InjectedBug bug) {
+  const ScoreParams subj = subject_params(c, bug);
+
+  // Inspector pass: conservative search, no traceback.
+  OneSidedOptions search;
+  search.prune = PruneMode::kConservative;
+  search.want_traceback = false;
+  const OneSidedResult found =
+      ydrop_one_sided_align(c.a.codes(), c.b.codes(), c.params, search);
+  out.expect(!found.truncated,
+             tag(c, "long-tail search hit a safety cap (case generator bug)"));
+  if (found.best.i == 0 && found.best.j == 0) return;
+
+  // Executor rectangle, trimmed to the inspector's optimum: the dense
+  // full-trace re-run vs the linear-space Hirschberg path must be
+  // bit-identical — and the linear path must stay inside its O(n+m)
+  // traceback bound while doing it.
+  OneSidedOptions trim;
+  trim.prune = PruneMode::kConservative;
+  trim.max_rows = found.best.i;
+  trim.max_cols = found.best.j;
+  trim.trace_from_fixed = true;
+  trim.trace_i = found.best.i;
+  trim.trace_j = found.best.j;
+  const OneSidedResult full =
+      ydrop_one_sided_align(c.a.codes(), c.b.codes(), c.params, trim);
+
+  OneSidedOptions lin = trim;
+  if (bug == InjectedBug::kHirschbergSplit) lin.hirschberg_split_skew = 1;
+  LinearTracebackStats stats;
+  try {
+    OneSidedResult linear =
+        ydrop_linear_traceback(c.a.codes(), c.b.codes(), subj, lin, &stats);
+    tamper(linear, bug);
+    out.expect(linear.best.score == full.best.score && linear.best.i == full.best.i &&
+                   linear.best.j == full.best.j,
+               tag(c, "hirschberg executor best " + cell_str(linear.best) +
+                          " != full-traceback executor " + cell_str(full.best)));
+    out.expect(linear.ops == full.ops,
+               tag(c, "hirschberg executor cigar " + cigar_of(linear.ops) +
+                          " != full-traceback " + cigar_of(full.ops)));
+    out.expect(linear.cells == full.cells,
+               tag(c, "hirschberg plan explored " + std::to_string(linear.cells) +
+                          " cells != full-traceback " + std::to_string(full.cells)));
+    // One base block of codes: block_rows + 1 rows, each at most the trimmed
+    // rectangle's column extent wide (computed-then-pruned edge cells can
+    // pad a row beyond its viable span, so the viable max_row_width is NOT a
+    // per-row byte cap). Same bound the pipeline's check_linear_traceback
+    // enforces: O(n + m) with block_rows a constant.
+    const std::uint64_t bound = std::uint64_t{stats.block_rows + 1} *
+                                (std::uint64_t{found.best.j} + 2);
+    out.expect(stats.peak_trace_bytes <= bound,
+               tag(c, "hirschberg materialized " +
+                          std::to_string(stats.peak_trace_bytes) +
+                          " traceback bytes > O(n+m) bound " + std::to_string(bound)));
+    check_rescore(out, c, "hirschberg executor", linear.ops, linear.best.i,
+                  linear.best.j, linear.best.score);
+  } catch (const std::exception& e) {
+    out.expect(false, tag(c, std::string("hirschberg executor threw: ") + e.what()));
   }
 }
 
@@ -339,6 +428,7 @@ const char* bug_name(InjectedBug bug) noexcept {
     case InjectedBug::kGapExtend: return "gap-extend";
     case InjectedBug::kDropOp: return "drop-op";
     case InjectedBug::kScoreOffByOne: return "score-off-by-one";
+    case InjectedBug::kHirschbergSplit: return "hirschberg-split-off-by-one";
   }
   return "unknown";
 }
@@ -348,8 +438,10 @@ InjectedBug parse_bug(std::string_view name) {
   if (name == "gap-extend") return InjectedBug::kGapExtend;
   if (name == "drop-op") return InjectedBug::kDropOp;
   if (name == "score-off-by-one") return InjectedBug::kScoreOffByOne;
-  throw std::invalid_argument("parse_bug: unknown bug '" + std::string(name) +
-                              "' (none|gap-extend|drop-op|score-off-by-one)");
+  if (name == "hirschberg-split-off-by-one") return InjectedBug::kHirschbergSplit;
+  throw std::invalid_argument(
+      "parse_bug: unknown bug '" + std::string(name) +
+      "' (none|gap-extend|drop-op|score-off-by-one|hirschberg-split-off-by-one)");
 }
 
 DiffResult diff_case(const FuzzCase& c, InjectedBug bug) {
@@ -378,6 +470,10 @@ DiffResult diff_case(const FuzzCase& c, InjectedBug bug) {
       break;
     case CaseKind::kServicePipeline:
       diff_service(out, c, bug);
+      break;
+    case CaseKind::kLongRelated:
+    case CaseKind::kLongStructuralIndel:
+      diff_hirschberg(out, c, bug);
       break;
   }
   return out;

@@ -39,11 +39,17 @@ enum class InjectedBug : std::uint8_t {
   kDropOp,
   // The subject reports its optimal score one higher than computed.
   kScoreOffByOne,
+  // The Hirschberg walker's column is skewed by one at every
+  // divide-and-conquer handoff (OneSidedOptions::hirschberg_split_skew = 1)
+  // — the canonical split-stitching defect the linear-space differ checks
+  // must catch.
+  kHirschbergSplit,
 };
 
 const char* bug_name(InjectedBug bug) noexcept;
-// Parses "none" / "gap-extend" / "drop-op" / "score-off-by-one".
-// Throws std::invalid_argument on anything else.
+// Parses "none" / "gap-extend" / "drop-op" / "score-off-by-one" /
+// "hirschberg-split-off-by-one". Throws std::invalid_argument on anything
+// else.
 InjectedBug parse_bug(std::string_view name);
 
 struct DiffResult {

@@ -44,9 +44,14 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "first case seed (cases use seed, seed+1, ...)", "1");
   cli.add_flag("budget-s", "wall-clock budget in seconds, 0 = unlimited", "0");
   cli.add_flag("replay", "replay one case: 'seed=N' (skips generation loop)", "");
+  cli.add_flag("kind",
+               "force every case to one corpus kind (e.g. long-related, "
+               "long-structural-indel); empty = weighted mix",
+               "");
   cli.add_flag("inject-bug",
                "deliberately break one implementation "
-               "(none|gap-extend|drop-op|score-off-by-one)",
+               "(none|gap-extend|drop-op|score-off-by-one|"
+               "hirschberg-split-off-by-one)",
                "none");
   cli.add_flag("expect-divergence",
                "exit 0 only if a divergence IS found (harness self-test)", "0");
@@ -64,6 +69,8 @@ int main(int argc, char** argv) {
     options.first_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     options.budget_s = cli.get_double("budget-s");
     options.bug = fastz::testing::parse_bug(cli.get("inject-bug"));
+    const std::string kind = cli.get("kind");
+    if (!kind.empty()) options.kind = fastz::testing::parse_case_kind(kind);
     options.minimize = cli.get_bool("minimize");
     options.threads = static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("threads")));
     options.log = &std::cout;

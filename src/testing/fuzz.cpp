@@ -16,8 +16,22 @@ FuzzFailure build_failure(const FuzzCase& c, DiffResult diff, const FuzzOptions&
   failure.kind = c.kind;
   failure.diffs = std::move(diff.diffs);
   failure.replay = replay_command(c);
+  if (options.kind) {
+    // A forced-kind run must replay as one: the bare seed would re-roll the
+    // weighted kind mix and regenerate a different case entirely.
+    failure.replay = "fastz_fuzz --kind " + std::string(case_kind_name(*options.kind)) +
+                     " --replay seed=" + std::to_string(c.seed);
+  }
   if (options.minimize) {
-    const MinimizeOutcome shrunk = minimize_case(c, options.bug);
+    // Long-tail cases get the budgeted shrink: full 1-minimality would spend
+    // a multi-second realignment per probe, so cap the wall clock and stop
+    // at a still-failing few-hundred-bp core instead of a perfect minimum.
+    MinimizeOptions mopts;
+    if (c.a.size() > 4096 || c.b.size() > 4096) {
+      mopts.budget_s = 10.0;
+      mopts.size_floor = 512;
+    }
+    const MinimizeOutcome shrunk = minimize_case(c, options.bug, mopts);
     failure.minimized = true;
     failure.minimized_a = shrunk.reduced.a.to_string();
     failure.minimized_b = shrunk.reduced.b.to_string();
@@ -26,7 +40,7 @@ FuzzFailure build_failure(const FuzzCase& c, DiffResult diff, const FuzzOptions&
 }
 
 void run_one(std::uint64_t seed, const FuzzOptions& options, FuzzSummary& summary) {
-  FuzzCase c = make_case(seed);
+  FuzzCase c = options.kind ? make_case_of_kind(seed, *options.kind) : make_case(seed);
   c.pipeline.threads = options.threads;  // outputs are thread-count-invariant
   DiffResult diff = diff_case(c, options.bug);
   ++summary.cases_run;

@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,10 @@ struct FuzzOptions {
   std::uint64_t first_seed = 1;     // case seeds are first_seed, first_seed+1, ...
   double budget_s = 0.0;            // stop early after this much wall-clock (0 = off)
   InjectedBug bug = InjectedBug::kNone;
+  // Force every case to one kind instead of the weighted mix (`--kind`).
+  // Targeted sweeps of a rare population — e.g. two long-related cases for
+  // the hirschberg-split canary — without burning seeds on the other 96%.
+  std::optional<CaseKind> kind;
   bool minimize = true;             // shrink the first failing case
   bool stop_on_failure = true;      // stop at the first divergence
   // Functional-pass worker threads for the pipeline-kind cases

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/timer.hpp"
+
 namespace fastz::testing {
 
 namespace {
@@ -19,10 +21,20 @@ Sequence without_window(const Sequence& s, std::size_t begin, std::size_t count)
 
 // One shrink pass over one sequence: for each chunk size (halving), scan
 // windows and keep every removal that preserves the failure. Returns true
-// if anything was removed.
+// if anything was removed. Honors the probe cap, the wall-clock budget
+// (`exhausted` latches once spent), and the size floor — windows whose
+// removal would drop the sequence below the floor are never probed.
 bool shrink_sequence(FuzzCase& c, bool target_a,
                      const std::function<bool(const FuzzCase&)>& still_fails,
-                     std::size_t max_probes, std::size_t& probes) {
+                     const MinimizeOptions& options, Timer& clock, bool& exhausted,
+                     std::size_t& probes) {
+  const std::size_t floor = options.size_floor;
+  auto out_of_budget = [&] {
+    if (options.budget_s > 0.0 && clock.elapsed_s() >= options.budget_s) {
+      exhausted = true;
+    }
+    return exhausted;
+  };
   bool progressed = false;
   for (std::size_t chunk = std::max<std::size_t>(1, (target_a ? c.a : c.b).size() / 2);
        chunk >= 1; chunk /= 2) {
@@ -30,9 +42,9 @@ bool shrink_sequence(FuzzCase& c, bool target_a,
     while (removed_at_this_size) {
       removed_at_this_size = false;
       const Sequence& cur = target_a ? c.a : c.b;
-      if (cur.size() < chunk) break;
+      if (cur.size() < chunk || cur.size() < floor + chunk) break;
       for (std::size_t begin = 0; begin + chunk <= cur.size();) {
-        if (probes >= max_probes) return progressed;
+        if (probes >= options.max_probes || out_of_budget()) return progressed;
         FuzzCase candidate = c;
         (target_a ? candidate.a : candidate.b) =
             without_window(target_a ? c.a : c.b, begin, chunk);
@@ -45,7 +57,10 @@ bool shrink_sequence(FuzzCase& c, bool target_a,
         } else {
           begin += chunk;
         }
-        if ((target_a ? c.a : c.b).size() < chunk) break;
+        if ((target_a ? c.a : c.b).size() < chunk ||
+            (target_a ? c.a : c.b).size() < floor + chunk) {
+          break;
+        }
       }
     }
     if (chunk == 1) break;
@@ -60,15 +75,21 @@ MinimizeOutcome minimize_case(const FuzzCase& c,
                               const MinimizeOptions& options) {
   MinimizeOutcome out;
   out.reduced = c;
+  Timer clock;
+  bool exhausted = false;
   bool progressed = true;
-  while (progressed && out.probes < options.max_probes) {
+  while (progressed && out.probes < options.max_probes && !exhausted) {
     progressed = false;
-    progressed |= shrink_sequence(out.reduced, /*target_a=*/true, still_fails,
-                                  options.max_probes, out.probes);
-    progressed |= shrink_sequence(out.reduced, /*target_a=*/false, still_fails,
-                                  options.max_probes, out.probes);
+    progressed |= shrink_sequence(out.reduced, /*target_a=*/true, still_fails, options,
+                                  clock, exhausted, out.probes);
+    if (!exhausted) {
+      progressed |= shrink_sequence(out.reduced, /*target_a=*/false, still_fails,
+                                    options, clock, exhausted, out.probes);
+    }
     ++out.rounds;
   }
+  out.budget_exhausted = exhausted;
+  out.elapsed_s = clock.elapsed_s();
   return out;
 }
 

@@ -20,12 +20,24 @@ struct MinimizeOptions {
   // Cap on predicate evaluations; greedy shrinking converges long before
   // this on realistic cases, the cap just bounds pathological inputs.
   std::size_t max_probes = 4000;
+  // Budgeted-shrink mode for the long tail, where one predicate evaluation
+  // re-aligns tens of thousands of rows and full 1-minimality is
+  // unaffordable:
+  //   * budget_s > 0 stops shrinking after this much wall-clock (the
+  //     reduced case is still failing, just not 1-minimal);
+  //   * size_floor keeps each sequence at least this long — removals that
+  //     would shrink a side below the floor are never probed, so the walk
+  //     skips straight to the windows that still can be cut.
+  double budget_s = 0.0;
+  std::size_t size_floor = 0;
 };
 
 struct MinimizeOutcome {
   FuzzCase reduced;        // same seed/kind/params, shrunk sequences
   std::size_t probes = 0;  // predicate evaluations spent
   std::size_t rounds = 0;  // full passes over both sequences
+  bool budget_exhausted = false;  // stopped by budget_s, not convergence
+  double elapsed_s = 0.0;
 };
 
 // Shrinks `c.a` / `c.b` while `still_fails(reduced)` holds. Pre: the

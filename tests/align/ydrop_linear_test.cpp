@@ -1,0 +1,211 @@
+// `ydrop_linear_traceback` vs the full-trace engine: the linear-space path
+// must be bit-identical — best cell, cells, row bounds, and the op list —
+// while materializing at most one base block of traceback codes. These are
+// the split-point pins the Hirschberg executor path rests on.
+#include "align/ydrop_align.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "align/gotoh_reference.hpp"
+#include "testing/test_sequences.hpp"
+
+namespace fastz {
+namespace {
+
+using testing::random_dna;
+using testing::related_pair;
+
+void expect_same_result(const OneSidedResult& linear, const OneSidedResult& full) {
+  EXPECT_EQ(linear.best.score, full.best.score);
+  EXPECT_EQ(linear.best.i, full.best.i);
+  EXPECT_EQ(linear.best.j, full.best.j);
+  EXPECT_EQ(linear.cells, full.cells);
+  EXPECT_EQ(linear.rows_explored, full.rows_explored);
+  EXPECT_EQ(linear.max_row_width, full.max_row_width);
+  EXPECT_EQ(linear.truncated, full.truncated);
+  EXPECT_EQ(linear.ops, full.ops);
+  ASSERT_EQ(linear.row_bounds.size(), full.row_bounds.size());
+  for (std::size_t r = 0; r < full.row_bounds.size(); ++r) {
+    EXPECT_EQ(linear.row_bounds[r].lo, full.row_bounds[r].lo);
+    EXPECT_EQ(linear.row_bounds[r].hi, full.row_bounds[r].hi);
+  }
+}
+
+// Both prune modes, tiny block height (deep recursion even on short
+// sequences), indel-bearing related pairs.
+class LinearVsFull : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LinearVsFull, SequentialModeBitIdentical) {
+  const std::uint64_t seed = GetParam();
+  auto [a, b] = related_pair(900, 0.85, seed, 0.01);
+  const ScoreParams p = lastz_default_params();
+  OneSidedOptions opts;
+  opts.record_row_bounds = true;
+  opts.hirschberg_block_rows = 3;
+
+  LinearTracebackStats stats;
+  const auto linear = ydrop_linear_traceback(a.codes(), b.codes(), p, opts, &stats);
+  const auto full = ydrop_one_sided_align(a.codes(), b.codes(), p, opts);
+  expect_same_result(linear, full);
+  EXPECT_EQ(stats.plan_cells, full.cells);
+}
+
+TEST_P(LinearVsFull, ConservativeModeBitIdentical) {
+  const std::uint64_t seed = GetParam();
+  auto [a, b] = related_pair(900, 0.85, seed ^ 0x5a5au, 0.01);
+  const ScoreParams p = lastz_default_params();
+  OneSidedOptions opts;
+  opts.prune = PruneMode::kConservative;
+  opts.record_row_bounds = true;
+  opts.hirschberg_block_rows = 3;
+
+  const auto linear = ydrop_linear_traceback(a.codes(), b.codes(), p, opts);
+  const auto full = ydrop_one_sided_align(a.codes(), b.codes(), p, opts);
+  expect_same_result(linear, full);
+}
+
+TEST_P(LinearVsFull, MatchesGotohReferenceWithUnboundedYdrop) {
+  const std::uint64_t seed = GetParam();
+  auto [a, b] = related_pair(70, 0.75, seed);
+  const ScoreParams p = test_params();
+  OneSidedOptions opts;
+  opts.hirschberg_block_rows = 2;
+
+  const auto ref = reference_extend(a.codes(), b.codes(), p);
+  const auto linear = ydrop_linear_traceback(a.codes(), b.codes(), p, opts);
+  EXPECT_EQ(linear.best.score, ref.best.score);
+  EXPECT_EQ(linear.best.i, ref.best.i);
+  EXPECT_EQ(linear.best.j, ref.best.j);
+  EXPECT_EQ(linear.ops, ref.ops);
+}
+
+TEST_P(LinearVsFull, FixedTraceCellBitIdentical) {
+  // The executor traces from the inspector's cell, not the best cell; the
+  // linear path must honor the same contract.
+  const std::uint64_t seed = GetParam();
+  auto [a, b] = related_pair(500, 0.9, seed ^ 0xf1f1u, 0.005);
+  const ScoreParams p = lastz_default_params();
+  OneSidedOptions search;
+  search.prune = PruneMode::kConservative;
+  search.want_traceback = false;
+  const auto found = ydrop_one_sided_align(a.codes(), b.codes(), p, search);
+  if (found.best.i == 0 && found.best.j == 0) GTEST_SKIP();
+
+  OneSidedOptions opts;
+  opts.prune = PruneMode::kConservative;
+  opts.max_rows = found.best.i;
+  opts.max_cols = found.best.j;
+  opts.trace_from_fixed = true;
+  opts.trace_i = found.best.i;
+  opts.trace_j = found.best.j;
+  opts.record_row_bounds = true;
+  opts.hirschberg_block_rows = 4;
+
+  const auto linear = ydrop_linear_traceback(a.codes(), b.codes(), p, opts);
+  const auto full = ydrop_one_sided_align(a.codes(), b.codes(), p, opts);
+  expect_same_result(linear, full);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, LinearVsFull,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(YdropLinear, StatsBoundTracebackMemoryToOnePlusBlockRows) {
+  auto [a, b] = related_pair(3000, 0.88, 77, 0.01);
+  const ScoreParams p = lastz_default_params();
+  OneSidedOptions opts;
+  opts.prune = PruneMode::kConservative;
+  opts.hirschberg_block_rows = 16;
+
+  LinearTracebackStats stats;
+  const auto linear = ydrop_linear_traceback(a.codes(), b.codes(), p, opts, &stats);
+  ASSERT_GT(linear.rows_explored, opts.hirschberg_block_rows);
+
+  // One base block: at most block_rows rows of codes, each no wider than the
+  // widest viable window (itself <= n + 2).
+  const std::uint64_t row_cap = std::uint64_t{linear.max_row_width} + 2;
+  EXPECT_LE(stats.peak_trace_bytes, (stats.block_rows + 1) * row_cap);
+  EXPECT_LE(stats.peak_trace_bytes, (stats.block_rows + 1) * (b.size() + 2));
+  EXPECT_GT(stats.peak_trace_bytes, 0u);
+  EXPECT_GT(stats.splits, 0u);
+  EXPECT_GT(stats.base_blocks, 0u);
+  EXPECT_GT(stats.replay_cells, 0u);
+  EXPECT_GT(stats.peak_checkpoint_bytes, 0u);
+  // Replay is bounded by plan/2 * ceil(log2(rows/block)) + plan; a loose
+  // multiple guards against accidental quadratic re-walks.
+  EXPECT_LT(stats.replay_cells, 16 * stats.plan_cells);
+  // The materialized trace is a small fraction of the full rectangle's.
+  EXPECT_LT(stats.trace_cells, stats.plan_cells);
+}
+
+TEST(YdropLinear, BlockRowsLargerThanExploredRowsDegeneratesToOneBlock) {
+  auto [a, b] = related_pair(120, 0.9, 5, 0.005);
+  const ScoreParams p = lastz_default_params();
+  OneSidedOptions opts;
+  opts.hirschberg_block_rows = 1u << 20;
+
+  LinearTracebackStats stats;
+  const auto linear = ydrop_linear_traceback(a.codes(), b.codes(), p, opts, &stats);
+  const auto full = ydrop_one_sided_align(a.codes(), b.codes(), p, opts);
+  EXPECT_EQ(linear.ops, full.ops);
+  EXPECT_EQ(stats.splits, 0u);
+  EXPECT_LE(stats.base_blocks, 1u);
+}
+
+TEST(YdropLinear, EmptyInputs) {
+  const ScoreParams p = test_params();
+  LinearTracebackStats stats;
+  const auto r = ydrop_linear_traceback(SeqView(), SeqView(), p, {}, &stats);
+  EXPECT_EQ(r.best.score, 0);
+  EXPECT_TRUE(r.ops.empty());
+  EXPECT_EQ(stats.peak_trace_bytes, 0u);
+}
+
+TEST(YdropLinear, PureInsertionTraceStaysOnRowZero) {
+  // Best cell on row 0: the whole walk runs over synthesized row-0 codes.
+  const Sequence b = random_dna(40, 3);
+  const ScoreParams p = test_params();
+  const SeqView bv(b.codes().data(), 1, b.size());
+  const auto linear = ydrop_linear_traceback(SeqView(), bv, p);
+  const auto full = ydrop_one_sided_align(SeqView(), bv, p);
+  EXPECT_EQ(linear.best.score, full.best.score);
+  EXPECT_EQ(linear.ops, full.ops);
+}
+
+TEST(YdropLinear, SplitSkewCanaryBreaksTheWalk) {
+  // The `hirschberg-split-off-by-one` injection must produce a detectable
+  // divergence: a different op list or a traceback failure — never a
+  // silently identical result.
+  auto [a, b] = related_pair(900, 0.85, 11, 0.01);
+  const ScoreParams p = lastz_default_params();
+  OneSidedOptions opts;
+  opts.prune = PruneMode::kConservative;
+  opts.hirschberg_block_rows = 3;
+  const auto full = ydrop_one_sided_align(a.codes(), b.codes(), p, opts);
+  ASSERT_GT(full.best.i, 16u);
+
+  opts.hirschberg_split_skew = 1;
+  bool diverged = false;
+  try {
+    const auto skewed = ydrop_linear_traceback(a.codes(), b.codes(), p, opts);
+    diverged = skewed.ops != full.ops;
+  } catch (const std::exception&) {
+    diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(YdropLinear, TraceRowBeyondExploredRegionThrows) {
+  const Sequence a = random_dna(200, 21);
+  const Sequence b = random_dna(200, 22);
+  const ScoreParams p = lastz_default_params();
+  OneSidedOptions opts;
+  opts.trace_from_fixed = true;
+  opts.trace_i = 10000;
+  opts.trace_j = 1;
+  EXPECT_THROW(ydrop_linear_traceback(a.codes(), b.codes(), p, opts), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fastz

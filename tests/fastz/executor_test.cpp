@@ -87,6 +87,128 @@ TEST(Executor, TracebackBytesEqualCells) {
   EXPECT_GT(exec.geom.warp_steps, 0u);
 }
 
+// Per-side trimmed-rectangle areas: the executor compares each side's
+// `best.i * best.j` against `hirschberg_area`, so the largest side is the
+// one that flips first as the threshold crosses it.
+std::uint64_t max_side_area(const SeedInspection& ins) {
+  return std::max(std::uint64_t{ins.left.best.i} * ins.left.best.j,
+                  std::uint64_t{ins.right.best.i} * ins.right.best.j);
+}
+
+TEST(Executor, HirschbergThresholdBoundary) {
+  // Property pinned at the exact boundary: threshold = area+1 keeps every
+  // side dense, threshold = area and area-1 send the largest side through
+  // the linear path, and all three produce byte-identical alignments.
+  const Fixture f = homologous_fixture(51, 1500, 0.9);
+  const ScoreParams p = lastz_default_params();
+  const FastzConfig config = FastzConfig::full();
+  const SeedInspection ins = inspect_seed(f.a, f.b, f.hit, 19, p, config);
+  ASSERT_FALSE(ins.eager);
+  const std::uint64_t area = max_side_area(ins);
+  ASSERT_GT(area, 1u);
+
+  OneSidedOptions above, at, below;
+  above.hirschberg_area = area + 1;
+  at.hirschberg_area = area;
+  below.hirschberg_area = area - 1;
+
+  const ExecutorOutcome dense = execute_seed(f.a, f.b, ins, p, config, above);
+  const ExecutorOutcome on = execute_seed(f.a, f.b, ins, p, config, at);
+  const ExecutorOutcome under = execute_seed(f.a, f.b, ins, p, config, below);
+
+  EXPECT_FALSE(dense.hirschberg);
+  EXPECT_TRUE(on.hirschberg);
+  EXPECT_TRUE(under.hirschberg);
+
+  for (const ExecutorOutcome* exec : {&on, &under}) {
+    EXPECT_EQ(exec->alignment.score, dense.alignment.score);
+    EXPECT_EQ(exec->alignment.a_begin, dense.alignment.a_begin);
+    EXPECT_EQ(exec->alignment.a_end, dense.alignment.a_end);
+    EXPECT_EQ(exec->alignment.b_begin, dense.alignment.b_begin);
+    EXPECT_EQ(exec->alignment.b_end, dense.alignment.b_end);
+    EXPECT_EQ(exec->alignment.ops, dense.alignment.ops);
+    // The linear path pays replay cells and checkpoint bytes the dense
+    // rectangle never sees.
+    EXPECT_GT(exec->replay_cells, 0u);
+    EXPECT_GT(exec->checkpoint_bytes, 0u);
+  }
+  EXPECT_EQ(dense.replay_cells, 0u);
+  EXPECT_EQ(dense.checkpoint_bytes, 0u);
+}
+
+TEST(Executor, HirschbergZeroThresholdDisablesTheLinearPath) {
+  const Fixture f = homologous_fixture(52, 1500, 0.9);
+  const ScoreParams p = lastz_default_params();
+  const FastzConfig config = FastzConfig::full();
+  const SeedInspection ins = inspect_seed(f.a, f.b, f.hit, 19, p, config);
+  ASSERT_FALSE(ins.eager);
+
+  OneSidedOptions off;
+  off.hirschberg_area = 0;  // sentinel: dense recompute no matter the size
+  const ExecutorOutcome exec = execute_seed(f.a, f.b, ins, p, config, off);
+  EXPECT_FALSE(exec.hirschberg);
+  EXPECT_EQ(exec.replay_cells, 0u);
+  // Dense accounting: the whole packed rectangle is resident at once.
+  EXPECT_EQ(exec.traceback_peak_bytes, exec.traceback_bytes);
+}
+
+TEST(Executor, HirschbergShrinksPeakTracebackFootprint) {
+  // The linear path's reason to exist: the high-water traceback footprint
+  // drops from the whole rectangle to one base block, and the drop must be
+  // visible on a mid-sized fixture already.
+  const Fixture f = homologous_fixture(53, 2000, 0.88);
+  const ScoreParams p = lastz_default_params();
+  const FastzConfig config = FastzConfig::full();
+  const SeedInspection ins = inspect_seed(f.a, f.b, f.hit, 19, p, config);
+  ASSERT_FALSE(ins.eager);
+
+  OneSidedOptions dense_opts;
+  dense_opts.hirschberg_area = 0;
+  OneSidedOptions linear_opts;
+  linear_opts.hirschberg_area = 1;  // force every non-empty side linear
+  linear_opts.hirschberg_block_rows = 8;
+
+  const ExecutorOutcome dense = execute_seed(f.a, f.b, ins, p, config, dense_opts);
+  const ExecutorOutcome linear = execute_seed(f.a, f.b, ins, p, config, linear_opts);
+
+  EXPECT_EQ(linear.alignment.ops, dense.alignment.ops);
+  EXPECT_EQ(linear.alignment.score, dense.alignment.score);
+  ASSERT_TRUE(linear.hirschberg);
+  EXPECT_LT(linear.traceback_peak_bytes, dense.traceback_peak_bytes);
+  // Peak <= materialized total on the linear path (blocks are written one
+  // at a time), while the dense path holds everything at once.
+  EXPECT_LE(linear.traceback_peak_bytes, linear.traceback_bytes);
+}
+
+TEST(Executor, HirschbergBlockRowsDoNotChangeTheAlignment) {
+  // Block height is a memory/replay trade-off knob, never a result knob.
+  const Fixture f = homologous_fixture(54, 1200, 0.9);
+  const ScoreParams p = lastz_default_params();
+  const FastzConfig config = FastzConfig::full();
+  const SeedInspection ins = inspect_seed(f.a, f.b, f.hit, 19, p, config);
+  ASSERT_FALSE(ins.eager);
+
+  OneSidedOptions base;
+  base.hirschberg_area = 1;
+  ExecutorOutcome first;
+  bool have_first = false;
+  for (std::uint32_t rows : {2u, 7u, 64u, 1024u}) {
+    OneSidedOptions opts = base;
+    opts.hirschberg_block_rows = rows;
+    const ExecutorOutcome exec = execute_seed(f.a, f.b, ins, p, config, opts);
+    ASSERT_TRUE(exec.hirschberg) << "block_rows " << rows;
+    if (!have_first) {
+      first = exec;
+      have_first = true;
+      continue;
+    }
+    EXPECT_EQ(exec.alignment.ops, first.alignment.ops) << "block_rows " << rows;
+    EXPECT_EQ(exec.alignment.score, first.alignment.score) << "block_rows " << rows;
+    EXPECT_EQ(exec.alignment.a_begin, first.alignment.a_begin) << "block_rows " << rows;
+    EXPECT_EQ(exec.alignment.b_end, first.alignment.b_end) << "block_rows " << rows;
+  }
+}
+
 TEST(Executor, EagerSizedSeedProducesEmptyishWork) {
   // A seed whose optimum is at the anchor (score 0 both sides) produces an
   // empty alignment without crashing.

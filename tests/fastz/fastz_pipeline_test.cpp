@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "gpusim/profiler.hpp"
 #include "sequence/genome_synth.hpp"
 
 namespace fastz {
@@ -190,6 +191,124 @@ TEST(FastzPipeline, TrimmingShrinksAllocationsAndKernelCount) {
   const FastzRun t = study.derive(trimmed, small);
   const FastzRun u = study.derive(untrimmed, small);
   EXPECT_GE(u.executor_kernels, t.executor_kernels);
+}
+
+// ---- Hirschberg long tail through the study and derive(). ----------------
+
+// Same workload as shared(), but with the linear-space area threshold low
+// enough (50x50) that every real homology seed escapes the dense rectangle.
+// Chance background hits stay eager, so the functional pass is still cheap.
+PipelineOptions longtail_options(std::size_t threads = 1) {
+  PipelineOptions base;
+  base.threads = threads;
+  base.one_sided.hirschberg_area = 2500;
+  return base;
+}
+
+struct LongtailWorkload {
+  SyntheticPair pair = test_pair();
+  FastzStudy study{pair.a, pair.b, test_ydrop_params(), longtail_options()};
+};
+
+const LongtailWorkload& longtail() {
+  static const LongtailWorkload w;
+  return w;
+}
+
+std::uint64_t hirschberg_seed_count(const FastzStudy& study) {
+  std::uint64_t n = 0;
+  for (const SeedWork& work : study.seed_work()) n += work.hirschberg ? 1 : 0;
+  return n;
+}
+
+TEST(FastzPipeline, HirschbergStudyIsBitIdenticalToDense) {
+  // The linear path is a memory optimization, never an approximation: the
+  // low-threshold study must report byte-for-byte the alignments of the
+  // dense default study over the same pair.
+  const FastzStudy& dense = shared().study;
+  const FastzStudy& linear = longtail().study;
+  ASSERT_GT(hirschberg_seed_count(linear), 0u)
+      << "threshold 2500 routed no seed through the linear path";
+  EXPECT_EQ(hirschberg_seed_count(dense), 0u);  // default 2^30 is far away
+
+  ASSERT_EQ(linear.alignments().size(), dense.alignments().size());
+  for (std::size_t k = 0; k < dense.alignments().size(); ++k) {
+    const Alignment& d = dense.alignments()[k];
+    const Alignment& l = linear.alignments()[k];
+    EXPECT_EQ(l.score, d.score) << "alignment " << k;
+    EXPECT_EQ(l.a_begin, d.a_begin) << "alignment " << k;
+    EXPECT_EQ(l.a_end, d.a_end) << "alignment " << k;
+    EXPECT_EQ(l.b_begin, d.b_begin) << "alignment " << k;
+    EXPECT_EQ(l.b_end, d.b_end) << "alignment " << k;
+    EXPECT_EQ(l.ops, d.ops) << "alignment " << k;
+  }
+}
+
+TEST(FastzPipeline, HirschbergStudyIsThreadCountInvariant) {
+  // The executor's linear path runs inside the worker pool; the divide-and-
+  // conquer recursion must not introduce any order dependence.
+  const FastzStudy& serial = longtail().study;
+  const FastzStudy pooled(longtail().pair.a, longtail().pair.b, test_ydrop_params(),
+                          longtail_options(4));
+  ASSERT_EQ(pooled.alignments().size(), serial.alignments().size());
+  for (std::size_t k = 0; k < serial.alignments().size(); ++k) {
+    EXPECT_EQ(pooled.alignments()[k].score, serial.alignments()[k].score);
+    EXPECT_EQ(pooled.alignments()[k].ops, serial.alignments()[k].ops);
+  }
+  // The per-seed traceback accounting is part of the deterministic surface:
+  // derive() turns it into kernel work, so it must not wobble either.
+  ASSERT_EQ(pooled.seed_work().size(), serial.seed_work().size());
+  for (std::size_t k = 0; k < serial.seed_work().size(); ++k) {
+    const SeedWork& p = pooled.seed_work()[k];
+    const SeedWork& s = serial.seed_work()[k];
+    EXPECT_EQ(p.hirschberg, s.hirschberg) << "seed " << k;
+    EXPECT_EQ(p.trimmed_tb_peak_bytes, s.trimmed_tb_peak_bytes) << "seed " << k;
+    EXPECT_EQ(p.trimmed_replay_cells, s.trimmed_replay_cells) << "seed " << k;
+  }
+}
+
+TEST(FastzPipeline, DeriveCountsHirschbergTasksAndShrinksResidentBytes) {
+  const FastzRun lin = longtail().study.derive(FastzConfig::full(), kAmpere);
+  const FastzRun den = shared().study.derive(FastzConfig::full(), kAmpere);
+
+  EXPECT_EQ(lin.hirschberg_tasks, hirschberg_seed_count(longtail().study));
+  EXPECT_GT(lin.hirschberg_tasks, 0u);
+  EXPECT_EQ(den.hirschberg_tasks, 0u);
+
+  // The whole point of the linear path: device-resident traceback
+  // allocation drops from whole rectangles to one block plus checkpoints.
+  EXPECT_GT(lin.ledger.traceback_resident_bytes, 0u);
+  EXPECT_LT(lin.ledger.traceback_resident_bytes, den.ledger.traceback_resident_bytes);
+  // The footprint is an allocation, not traffic — it must not leak into the
+  // modeled byte streams.
+  EXPECT_EQ(lin.ledger.device_bytes(),
+            lin.ledger.score_read_bytes + lin.ledger.score_write_bytes +
+                lin.ledger.boundary_spill_bytes + lin.ledger.traceback_wire_bytes +
+                lin.ledger.sequence_bytes);
+}
+
+TEST(FastzPipeline, ProfilerSeesTheHirschbergKernelSlot) {
+  // Under the profiler the linear tasks land in their own trailing kernel
+  // slot tagged `executor.hirschberg`, with sane counters — the tag
+  // fastz_prof keys its long-tail table row on.
+  gpusim::ProfilerSession session;
+  {
+    const gpusim::ScopedProfiler scoped(session);
+    (void)longtail().study.derive(FastzConfig::full(), kAmpere);
+  }
+  bool saw_hirschberg = false;
+  for (const gpusim::KernelProfile& k : session.kernels()) {
+    if (k.tag.name.rfind("executor.hirschberg", 0) != 0) continue;
+    saw_hirschberg = true;
+    EXPECT_EQ(k.tag.phase, "executor");
+    EXPECT_GT(k.counters.tasks, 0u);
+    EXPECT_GT(k.counters.warp_instructions, 0u);
+    EXPECT_GT(k.cost.time_s, 0.0);
+    EXPECT_GE(k.end_s, k.start_s);
+    // The slot's traffic attribution carries the resident-footprint number.
+    EXPECT_GT(k.tag.traffic.traceback_resident_bytes, 0u);
+  }
+  EXPECT_TRUE(saw_hirschberg);
 }
 
 TEST(FastzPipeline, RunFastzWrapperReturnsAlignments) {

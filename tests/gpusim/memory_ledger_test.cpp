@@ -1,0 +1,102 @@
+// Exact-arithmetic pins on the MemoryLedger. The ledger backs the roofline,
+// the profiler's per-level view, and the benchdiff gate, so every derived
+// quantity is asserted against hand-computed byte counts — in particular
+// that `traceback_resident_bytes` (an allocation footprint, introduced for
+// the Hirschberg long-tail path) stays out of every traffic aggregate.
+#include "gpusim/memory_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastz::gpusim {
+namespace {
+
+MemoryLedger sample_ledger() {
+  MemoryLedger led;
+  led.score_read_bytes = 100;
+  led.score_write_bytes = 60;
+  led.boundary_spill_bytes = 24;
+  led.traceback_bytes = 1000;
+  led.traceback_wire_bytes = 1000;
+  led.sequence_bytes = 8;
+  led.host_copy_bytes = 512;
+  led.register_elided_bytes = 3200;
+  led.shared_staged_bytes = 1000;
+  led.traceback_resident_bytes = 4096;
+  return led;
+}
+
+TEST(MemoryLedger, DeviceBytesIsTheFiveTrafficStreams) {
+  const MemoryLedger led = sample_ledger();
+  EXPECT_EQ(led.device_bytes(), 100u + 60u + 24u + 1000u + 8u);
+}
+
+TEST(MemoryLedger, PerLevelViewIsExact) {
+  const MemoryLedger led = sample_ledger();
+  EXPECT_EQ(led.materialized_score_bytes(), 100u + 60u + 24u);
+  EXPECT_EQ(led.l2_bytes(), 8u);
+  EXPECT_EQ(led.dram_bytes(), 100u + 60u + 24u + 1000u);
+  // Elision ratio = elided / (elided + materialized score traffic).
+  EXPECT_DOUBLE_EQ(led.score_elision_ratio(), 3200.0 / (3200.0 + 184.0));
+}
+
+TEST(MemoryLedger, ResidentBytesAreAFootprintNotTraffic) {
+  // The Hirschberg path shrinks the *allocation*; byte streams on the wire
+  // are tracked separately. Varying the footprint must not move any traffic
+  // aggregate.
+  MemoryLedger led = sample_ledger();
+  const std::uint64_t device = led.device_bytes();
+  const std::uint64_t dram = led.dram_bytes();
+  led.traceback_resident_bytes = 0;
+  EXPECT_EQ(led.device_bytes(), device);
+  EXPECT_EQ(led.dram_bytes(), dram);
+  led.traceback_resident_bytes = 1ull << 40;
+  EXPECT_EQ(led.device_bytes(), device);
+  EXPECT_EQ(led.dram_bytes(), dram);
+}
+
+TEST(MemoryLedger, ElisionRatioIsZeroWhenNoScoreTraffic) {
+  const MemoryLedger led;  // all zero
+  EXPECT_DOUBLE_EQ(led.score_elision_ratio(), 0.0);
+  EXPECT_EQ(led.device_bytes(), 0u);
+  EXPECT_EQ(led.dram_bytes(), 0u);
+}
+
+TEST(MemoryLedger, MergeAddsEveryFieldIncludingResidentBytes) {
+  MemoryLedger sum = sample_ledger();
+  MemoryLedger other;
+  other.score_read_bytes = 1;
+  other.score_write_bytes = 2;
+  other.boundary_spill_bytes = 3;
+  other.traceback_bytes = 4;
+  other.traceback_wire_bytes = 5;
+  other.sequence_bytes = 6;
+  other.host_copy_bytes = 7;
+  other.register_elided_bytes = 8;
+  other.shared_staged_bytes = 9;
+  other.traceback_resident_bytes = 10;
+  sum.merge(other);
+  EXPECT_EQ(sum.score_read_bytes, 101u);
+  EXPECT_EQ(sum.score_write_bytes, 62u);
+  EXPECT_EQ(sum.boundary_spill_bytes, 27u);
+  EXPECT_EQ(sum.traceback_bytes, 1004u);
+  EXPECT_EQ(sum.traceback_wire_bytes, 1005u);
+  EXPECT_EQ(sum.sequence_bytes, 14u);
+  EXPECT_EQ(sum.host_copy_bytes, 519u);
+  EXPECT_EQ(sum.register_elided_bytes, 3208u);
+  EXPECT_EQ(sum.shared_staged_bytes, 1009u);
+  EXPECT_EQ(sum.traceback_resident_bytes, 4106u);
+}
+
+TEST(MemoryLedger, CostConstantsMatchThePaperModel) {
+  // Section 6 / Figure 1 of the paper: 9 ops per cell (5 adds + 4 compares),
+  // 5 score reads + 3 writes of 4 bytes, 12-byte boundary spills, 32-byte
+  // DRAM sectors for unstaged byte stores.
+  EXPECT_EQ(kOpsPerCell, 9u);
+  EXPECT_EQ(kScoreReadBytesPerCell, 20u);
+  EXPECT_EQ(kScoreWriteBytesPerCell, 12u);
+  EXPECT_EQ(kBoundarySpillBytes, 12u);
+  EXPECT_EQ(kSectorBytes, 32u);
+}
+
+}  // namespace
+}  // namespace fastz::gpusim

@@ -64,8 +64,11 @@ TEST_F(ProfiledPipeline, KernelsAreTaggedByPhaseAndBin) {
     if (k.tag.phase == "inspector") saw_inspector = true;
     if (k.tag.phase == "executor" && k.tag.bin >= 0) {
       saw_binned_executor = true;
-      // "executor.bin<K>" (+ ".part<P>" when a bin split over memory budget)
-      const std::string prefix = "executor.bin" + std::to_string(k.tag.bin);
+      // "executor.bin<K>" (+ ".part<P>" when a bin split over memory budget),
+      // or the trailing linear-space slot "executor.hirschberg".
+      const std::string prefix = k.tag.name.rfind("executor.hirschberg", 0) == 0
+                                     ? std::string("executor.hirschberg")
+                                     : "executor.bin" + std::to_string(k.tag.bin);
       EXPECT_EQ(k.tag.name.compare(0, prefix.size(), prefix), 0) << k.tag.name;
     }
   }

@@ -158,6 +158,50 @@ TEST(GenomeSynth, MixedOrientationSegmentsCoexist) {
   EXPECT_GT(inverted, 0);
 }
 
+TEST(GenomeSynth, LongtailPresetsScaleFromTheBinEdge) {
+  const auto full = longtail_presets();
+  ASSERT_EQ(full.size(), 3u);
+  EXPECT_EQ(full[0].label, "10x");
+  EXPECT_EQ(full[1].label, "32x");
+  EXPECT_EQ(full[2].label, "100x");
+  for (const LongTailPreset& p : full) {
+    EXPECT_EQ(p.segment_len, p.multiple * kLongTailUnit);
+    EXPECT_GT(p.flank, 0u);
+    // The band-narrowing knobs the sweep depends on: high identity, sparse
+    // indels.
+    EXPECT_GE(p.identity, 0.95);
+    EXPECT_LE(p.channel.indel_rate, 0.001);
+  }
+  // Scaling shrinks proportionally but never below the 1024 bp floor.
+  const auto small = longtail_presets(0.01);
+  EXPECT_EQ(small[2].segment_len,
+            static_cast<std::uint64_t>(100 * kLongTailUnit * 0.01));
+  EXPECT_GE(small[0].segment_len, 1024u);
+  EXPECT_THROW(longtail_presets(0.0), std::invalid_argument);
+}
+
+TEST(GenomeSynth, LongtailPairHasExactlyOneSegment) {
+  auto presets = longtail_presets(0.02);  // 10x -> ~6.5 kbp, fast
+  const SyntheticPair p = longtail_pair(presets[0], 11);
+  ASSERT_EQ(p.segments.size(), 1u);
+  const SegmentRecord& seg = p.segments[0];
+  EXPECT_EQ(seg.a_begin, presets[0].flank);
+  EXPECT_EQ(seg.a_len, presets[0].segment_len);
+  EXPECT_EQ(seg.b_begin, presets[0].flank);
+  // Net indel drift at rate 5e-4 stays within a few percent.
+  EXPECT_NEAR(static_cast<double>(seg.b_len), static_cast<double>(seg.a_len),
+              0.05 * static_cast<double>(seg.a_len));
+  EXPECT_EQ(p.a.size(), presets[0].segment_len + 2 * presets[0].flank);
+  EXPECT_EQ(p.b.size(), seg.b_len + 2 * presets[0].flank);
+
+  // Deterministic in the seed.
+  const SyntheticPair q = longtail_pair(presets[0], 11);
+  EXPECT_EQ(p.a.to_string(), q.a.to_string());
+  EXPECT_EQ(p.b.to_string(), q.b.to_string());
+  const SyntheticPair r = longtail_pair(presets[0], 12);
+  EXPECT_NE(p.b.to_string(), r.b.to_string());
+}
+
 TEST(GenomeSynth, ZeroLengthThrows) {
   PairModel model;
   EXPECT_THROW(generate_pair(model, 1), std::invalid_argument);

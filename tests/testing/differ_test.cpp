@@ -59,6 +59,32 @@ TEST(Differ, ScoreOffByOneBugCaught) {
   ASSERT_NE(failing_seed(CaseKind::kPipeline, InjectedBug::kScoreOffByOne), 0u);
 }
 
+TEST(Differ, HirschbergSplitBugCaughtOnLongKinds) {
+  // The split-off-by-one canary is the linear-space path's mutation test:
+  // a skewed divide-and-conquer handoff must surface as a cigar divergence
+  // or a traceback failure on the first long case that actually bisects.
+  ASSERT_NE(failing_seed(CaseKind::kLongRelated, InjectedBug::kHirschbergSplit), 0u);
+  ASSERT_NE(failing_seed(CaseKind::kLongStructuralIndel, InjectedBug::kHirschbergSplit),
+            0u);
+}
+
+TEST(Differ, HirschbergSplitBugCaughtOnSmallExactKinds) {
+  // The exact-oracle kinds force the linear path with a 4-row block height,
+  // so even 100 bp cases bisect — the canary must not need a long tail.
+  ASSERT_NE(failing_seed(CaseKind::kOneSidedRelated, InjectedBug::kHirschbergSplit), 0u);
+}
+
+TEST(Differ, CleanLongKindsPassAcrossSeeds) {
+  for (const CaseKind kind : {CaseKind::kLongRelated, CaseKind::kLongStructuralIndel}) {
+    for (std::uint64_t seed = 100; seed < 103; ++seed) {
+      const FuzzCase c = make_case_of_kind(seed, kind);
+      SCOPED_TRACE(testing::replay_command(c));
+      const DiffResult r = diff_case(c);
+      EXPECT_TRUE(r.ok()) << (r.diffs.empty() ? "" : r.diffs.front());
+    }
+  }
+}
+
 TEST(Differ, EveryDiffMessageEmbedsTheReplaySeed) {
   const std::uint64_t seed = failing_seed(CaseKind::kOneSidedRelated, InjectedBug::kGapExtend);
   ASSERT_NE(seed, 0u);
@@ -82,8 +108,9 @@ TEST(Differ, DiffIsDeterministic) {
 }
 
 TEST(Differ, BugNamesRoundTrip) {
-  for (InjectedBug bug : {InjectedBug::kNone, InjectedBug::kGapExtend,
-                          InjectedBug::kDropOp, InjectedBug::kScoreOffByOne}) {
+  for (InjectedBug bug :
+       {InjectedBug::kNone, InjectedBug::kGapExtend, InjectedBug::kDropOp,
+        InjectedBug::kScoreOffByOne, InjectedBug::kHirschbergSplit}) {
     EXPECT_EQ(parse_bug(testing::bug_name(bug)), bug);
   }
   EXPECT_THROW(parse_bug("offby2"), std::invalid_argument);

@@ -3,6 +3,8 @@
 // repro at all.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "testing/differ.hpp"
 #include "testing/minimizer.hpp"
 
@@ -75,6 +77,49 @@ TEST(Minimizer, RespectsProbeCap) {
   // Even truncated, the reduced case must still fail (we only keep
   // failure-preserving removals).
   EXPECT_FALSE(diff_case(out.reduced, InjectedBug::kGapExtend).ok());
+}
+
+TEST(Minimizer, SizeFloorStopsTheShrink) {
+  // Budgeted mode for the long tail: the floor keeps each sequence at least
+  // size_floor long even when the predicate would allow going smaller.
+  const FuzzCase c = make_case_of_kind(3, CaseKind::kLongRelated);
+  ASSERT_GT(c.a.size(), 8000u);
+  ASSERT_GT(c.b.size(), 8000u);
+  testing::MinimizeOptions opts;
+  opts.size_floor = 4000;
+  opts.max_probes = 100000;
+  auto big_enough = [](const FuzzCase& probe) { return probe.a.size() >= 2000; };
+  const MinimizeOutcome out = minimize_case(c, big_enough, opts);
+  // Greedy halving walks each side down to exactly the floor — the
+  // predicate would allow 2000 on A (and anything on B), the floor wins.
+  EXPECT_EQ(out.reduced.a.size(), 4000u);
+  EXPECT_EQ(out.reduced.b.size(), 4000u);
+  EXPECT_FALSE(out.budget_exhausted);
+}
+
+TEST(Minimizer, WallClockBudgetLatches) {
+  const FuzzCase c = make_case_of_kind(3, CaseKind::kLongRelated);
+  testing::MinimizeOptions opts;
+  opts.budget_s = 1e-9;  // spent before the first probe
+  const MinimizeOutcome out =
+      minimize_case(c, [](const FuzzCase&) { return true; }, opts);
+  EXPECT_TRUE(out.budget_exhausted);
+  EXPECT_EQ(out.probes, 0u);
+  EXPECT_EQ(out.reduced.a.size(), c.a.size());  // nothing was removed
+  EXPECT_EQ(out.reduced.b.size(), c.b.size());
+}
+
+TEST(Minimizer, BudgetedShrinkStillPreservesTheFailure) {
+  // Even when the budget cuts the walk short, every kept removal was
+  // failure-preserving, so the reduced case still fails.
+  const FuzzCase c = failing_case();
+  testing::MinimizeOptions opts;
+  opts.budget_s = 0.25;
+  opts.size_floor = 8;
+  const MinimizeOutcome out = minimize_case(c, InjectedBug::kGapExtend, opts);
+  EXPECT_FALSE(diff_case(out.reduced, InjectedBug::kGapExtend).ok());
+  EXPECT_GE(out.reduced.a.size(), std::min<std::size_t>(c.a.size(), 8));
+  EXPECT_GE(out.reduced.b.size(), std::min<std::size_t>(c.b.size(), 8));
 }
 
 TEST(Minimizer, CustomPredicate) {
