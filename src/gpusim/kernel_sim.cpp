@@ -17,33 +17,42 @@ namespace {
 // nanoseconds so they land in the same counter/histogram machinery as the
 // functional counters. Gated on the telemetry flag by the caller.
 void record_kernel_cost(const KernelCost& cost) {
-  auto& reg = telemetry::MetricsRegistry::global();
-  reg.counter("gpusim.kernels").add(1);
-  reg.counter("gpusim.kernel.compute_ns")
-      .add(static_cast<std::uint64_t>(cost.compute_time_s * 1e9));
-  reg.counter("gpusim.kernel.memory_ns")
-      .add(static_cast<std::uint64_t>(cost.memory_time_s * 1e9));
-  reg.counter("gpusim.kernel.launch_ns")
-      .add(static_cast<std::uint64_t>(cost.launch_overhead_s * 1e9));
-  reg.counter("gpusim.kernel.warp_instructions").add(cost.warp_instructions);
-  reg.counter("gpusim.kernel.mem_bytes").add(cost.mem_bytes);
-  reg.histogram("gpusim.kernel.tasks").record(cost.tasks);
+  // This is the per-launch hot path under concurrent shard workers; the
+  // registry lookups take a global mutex, so resolve them once (cached
+  // references stay valid for the registry's lifetime) and leave only
+  // lock-free adds per launch.
+  static auto& reg = telemetry::MetricsRegistry::global();
+  static auto& c_kernels = reg.counter("gpusim.kernels");
+  static auto& c_compute = reg.counter("gpusim.kernel.compute_ns");
+  static auto& c_memory = reg.counter("gpusim.kernel.memory_ns");
+  static auto& c_launch = reg.counter("gpusim.kernel.launch_ns");
+  static auto& c_instr = reg.counter("gpusim.kernel.warp_instructions");
+  static auto& c_bytes = reg.counter("gpusim.kernel.mem_bytes");
+  static auto& h_tasks = reg.histogram("gpusim.kernel.tasks");
+  c_kernels.add(1);
+  c_compute.add(static_cast<std::uint64_t>(cost.compute_time_s * 1e9));
+  c_memory.add(static_cast<std::uint64_t>(cost.memory_time_s * 1e9));
+  c_launch.add(static_cast<std::uint64_t>(cost.launch_overhead_s * 1e9));
+  c_instr.add(cost.warp_instructions);
+  c_bytes.add(cost.mem_bytes);
+  h_tasks.record(cost.tasks);
 }
 
 // Profiled launches also surface as registry counters so a --trace/--json
 // bench run carries the profiler's aggregates without the profile file.
 void record_profiled_launch(const KernelProfile& profile) {
   if (!telemetry::enabled()) return;
-  auto& reg = telemetry::MetricsRegistry::global();
-  reg.counter("gpusim.profile.kernels").add(1);
-  reg.counter("gpusim.profile.issued_warp_cycles")
-      .add(profile.counters.issued_warp_cycles);
-  reg.counter("gpusim.profile.stalled_warp_cycles")
-      .add(profile.counters.stalled_warp_cycles);
-  reg.histogram("gpusim.profile.occupancy_milli")
-      .record(static_cast<std::uint64_t>(profile.counters.achieved_occupancy * 1000.0));
-  reg.histogram("gpusim.profile.imbalance_milli")
-      .record(static_cast<std::uint64_t>(profile.counters.load_imbalance() * 1000.0));
+  static auto& reg = telemetry::MetricsRegistry::global();
+  static auto& c_kernels = reg.counter("gpusim.profile.kernels");
+  static auto& c_issued = reg.counter("gpusim.profile.issued_warp_cycles");
+  static auto& c_stalled = reg.counter("gpusim.profile.stalled_warp_cycles");
+  static auto& h_occ = reg.histogram("gpusim.profile.occupancy_milli");
+  static auto& h_imb = reg.histogram("gpusim.profile.imbalance_milli");
+  c_kernels.add(1);
+  c_issued.add(profile.counters.issued_warp_cycles);
+  c_stalled.add(profile.counters.stalled_warp_cycles);
+  h_occ.record(static_cast<std::uint64_t>(profile.counters.achieved_occupancy * 1000.0));
+  h_imb.record(static_cast<std::uint64_t>(profile.counters.load_imbalance() * 1000.0));
 }
 
 }  // namespace

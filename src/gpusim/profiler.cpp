@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/trace_context.hpp"
+
 namespace fastz::gpusim {
 
 std::atomic<ProfilerSession*> ProfilerSession::active_{nullptr};
@@ -63,6 +65,15 @@ void ProfilerSession::uninstall() noexcept {
 }
 
 void ProfilerSession::record(KernelProfile profile) {
+  // Attribute the launch to the service batch/request the launching thread
+  // is working for (zero ids when none is installed). Stamped here, at the
+  // single funnel every launch passes through, rather than at each tag
+  // construction site.
+  if (profile.tag.batch == Digest128{} && profile.tag.request == Digest128{}) {
+    const telemetry::TraceContext& ctx = telemetry::current_trace_context();
+    profile.tag.batch = ctx.batch_id;
+    profile.tag.request = ctx.request_id;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   kernels_.push_back(std::move(profile));
 }

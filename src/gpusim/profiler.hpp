@@ -30,6 +30,7 @@
 
 #include "gpusim/kernel_sim.hpp"
 #include "gpusim/memory_ledger.hpp"
+#include "util/digest.hpp"
 
 namespace fastz::gpusim {
 
@@ -50,6 +51,13 @@ struct KernelTag {
   // In run_streamed, a single shared base tag attributes its traffic to the
   // first chunk only; per-chunk tags attribute exactly.
   MemoryLedger traffic;
+  // Owning service batch / request (zero when the launch happened outside
+  // the alignment service). Callers normally leave these zero:
+  // ProfilerSession::record stamps them from the launching thread's
+  // telemetry::TraceContext, so every launch a worker performs on behalf
+  // of a request is attributable in the merged Chrome trace.
+  Digest128 batch{};
+  Digest128 request{};
 };
 
 // Modeled hardware counters of one kernel, in the vocabulary of a GPU

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "telemetry/json.hpp"
+#include "telemetry/trace_context.hpp"
 #include "util/table.hpp"
 
 namespace fastz {
@@ -149,6 +150,12 @@ void write_profile_json(std::ostream& out, const gpusim::ProfilerSession& sessio
     w.field("stream", std::uint64_t{k.tag.stream});
     w.field("bin", std::int64_t{k.tag.bin});
     w.field("shard", std::uint64_t{k.tag.shard});
+    if (k.tag.batch != Digest128{}) {
+      w.field("batch", telemetry::trace_id_hex(k.tag.batch));
+    }
+    if (k.tag.request != Digest128{}) {
+      w.field("request", telemetry::trace_id_hex(k.tag.request));
+    }
     w.field("start_s", k.start_s);
     w.field("end_s", k.end_s);
     w.field("time_s", k.cost.time_s);
@@ -205,6 +212,12 @@ std::vector<telemetry::TraceEvent> profile_trace_events(
               {"tasks", static_cast<double>(k.counters.tasks)},
               {"elision_ratio", k.counters.traffic.score_elision_ratio()},
               {"tail_latency_ms", k.counters.tail_latency_s * 1e3}};
+    if (k.tag.batch != Digest128{}) {
+      e.str_args.emplace_back("batch", telemetry::trace_id_hex(k.tag.batch));
+    }
+    if (k.tag.request != Digest128{}) {
+      e.str_args.emplace_back("request", telemetry::trace_id_hex(k.tag.request));
+    }
     events.push_back(e);
 
     // Counter track sampled at each kernel start: renders the occupancy /

@@ -7,8 +7,10 @@
 #include <utility>
 
 #include "fastz/fastz_pipeline.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace fastz::service {
 
@@ -39,23 +41,46 @@ AlignmentServer::AlignmentServer(ServerConfig config, bool start_paused)
 AlignmentServer::~AlignmentServer() { shutdown(); }
 
 std::future<AlignResult> AlignmentServer::submit(AlignRequest request) {
-  // The digest walks both sequences; keep it outside the queue lock.
+  // The digest walks both sequences; keep it outside the queue lock. Every
+  // request — even one about to be shed — gets an id, so post-mortem dumps
+  // can name the victims.
   const Digest128 key = request_key(request.a, request.b, request.params);
+  const Digest128 rid = telemetry::mint_request_id();
+  auto& flight = telemetry::FlightRecorder::global();
 
   std::unique_lock lock(mutex_);
-  if (stopping_) throw ShutdownError();
+  if (stopping_) {
+    lock.unlock();
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    flight.record(telemetry::FlightEventKind::kShedShutdown, rid);
+    if (telemetry::enabled()) {
+      auto& reg = telemetry::MetricsRegistry::global();
+      reg.counter("service.requests.shed").add(1);
+      reg.counter("service.requests.shed_shutdown").add(1);
+    }
+    throw ShutdownError();
+  }
   if (pending_.size() >= config_.queue_limit) {
     shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t depth = pending_.size();
     lock.unlock();
+    flight.record(telemetry::FlightEventKind::kShedQueueFull, rid, Digest128{},
+                  depth, config_.queue_limit);
     if (telemetry::enabled()) {
-      telemetry::MetricsRegistry::global().counter("service.requests.shed").add(1);
+      auto& reg = telemetry::MetricsRegistry::global();
+      reg.counter("service.requests.shed").add(1);
+      reg.counter("service.requests.shed_queue_full").add(1);
     }
+    maybe_dump_postmortem("queue_full", postmortem_queue_full_);
     throw QueueFullError(depth, config_.queue_limit);
   }
   Pending pending;
   pending.request = std::move(request);
   pending.key = key;
+  pending.trace.request_id = rid;
+  pending.submitted_us = telemetry::TraceRecorder::global().now_us();
   std::future<AlignResult> future = pending.promise.get_future();
   pending_.push_back(std::move(pending));
   const std::size_t depth = pending_.size();
@@ -67,6 +92,7 @@ std::future<AlignResult> AlignmentServer::submit(AlignRequest request) {
          !max_queue_depth_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
   }
   cv_batcher_.notify_one();
+  flight.record(telemetry::FlightEventKind::kSubmit, rid, Digest128{}, depth);
   if (telemetry::enabled()) {
     auto& reg = telemetry::MetricsRegistry::global();
     reg.counter("service.requests.accepted").add(1);
@@ -97,6 +123,9 @@ ServerStats AlignmentServer::stats() const {
   ServerStats s;
   s.accepted = accepted_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_relaxed);
+  s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  s.shed_shutdown = shed_shutdown_.load(std::memory_order_relaxed);
+  s.slo_breaches = slo_breaches_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
@@ -127,7 +156,28 @@ void AlignmentServer::shutdown() {
       if (worker.joinable()) worker.join();
     }
     joined_ = true;
+    // Every accepted request is answered by now; leave the drain marker and
+    // the post-mortem (the dump doubles as the service's black box for
+    // whatever happened during the run).
+    telemetry::FlightRecorder::global().record(
+        telemetry::FlightEventKind::kShutdownDrain, Digest128{}, Digest128{},
+        completed_.load(std::memory_order_relaxed));
+    if (!config_.postmortem_path.empty()) {
+      telemetry::FlightRecorder::global().dump_json_file(
+          config_.postmortem_path + ".shutdown_drain.json", "shutdown_drain");
+    }
   }
+}
+
+void AlignmentServer::maybe_dump_postmortem(const char* cause,
+                                            std::atomic<bool>& once) {
+  if (config_.postmortem_path.empty()) return;
+  bool expected = false;
+  if (!once.compare_exchange_strong(expected, true, std::memory_order_relaxed)) {
+    return;
+  }
+  telemetry::FlightRecorder::global().dump_json_file(
+      config_.postmortem_path + "." + cause + ".json", cause);
 }
 
 void AlignmentServer::batcher_loop() {
@@ -158,7 +208,15 @@ void AlignmentServer::batcher_loop() {
     }
     lock.unlock();
 
+    // Seal the batch under one freshly-minted batch id: every member's
+    // spans, flight events, and kernel launches carry it from here on.
+    const Digest128 batch_id = telemetry::mint_batch_id();
+    for (Pending& p : batch) p.trace.batch_id = batch_id;
+
     const std::size_t shard = shards_.acquire();  // least-modeled-busy
+    telemetry::FlightRecorder::global().record(
+        telemetry::FlightEventKind::kBatchDispatch, Digest128{}, batch_id,
+        batch.size(), shard);
     {
       ShardQueue& queue = *shard_queues_[shard];
       std::lock_guard qlock(queue.mutex);
@@ -185,14 +243,103 @@ void AlignmentServer::worker_loop(std::size_t shard) {
 }
 
 void AlignmentServer::process_batch(std::size_t shard, Batch batch) {
-  telemetry::TraceSpan span("service.batch", "service");
   batches_.fetch_add(1, std::memory_order_relaxed);
   const bool telem = telemetry::enabled();
+  auto& flight = telemetry::FlightRecorder::global();
+  telemetry::TraceRecorder& rec = telemetry::TraceRecorder::global();
+  auto& reg = telemetry::MetricsRegistry::global();
+  const double batch_start_us = rec.now_us();
+  const Digest128 batch_id =
+      batch.empty() ? Digest128{} : batch.front().trace.batch_id;
+  const std::string batch_hex = telemetry::trace_id_hex(batch_id);
   if (telem) {
-    auto& reg = telemetry::MetricsRegistry::global();
     reg.counter("service.batches").add(1);
     reg.histogram("service.batch.items").record(batch.size());
   }
+
+  // Request-lifecycle spans live on their own trace process (pid 3, one of
+  // a few dozen lanes keyed by the request counter) so the per-request
+  // timeline does not fight the worker thread's own lane for nesting.
+  const auto lane_of = [](const Digest128& rid) {
+    return static_cast<std::uint32_t>(1 + (rid.lo & 0xFFFFFF) % 61);
+  };
+  if (telem) {
+    // Retro-recorded queue-wait spans: submit to the start of processing
+    // (the batcher linger included — that is the point of the span).
+    for (const Pending& p : batch) {
+      const double wait_us = batch_start_us - p.submitted_us;
+      reg.sketch("service.latency.queue_wait_ns")
+          .record(static_cast<std::uint64_t>(wait_us * 1e3));
+      telemetry::TraceEvent e;
+      e.name = "service.queue_wait";
+      e.category = "service";
+      e.ts_us = p.submitted_us;
+      e.dur_us = wait_us;
+      e.pid = 3;
+      e.tid = lane_of(p.trace.request_id);
+      e.str_args.emplace_back("request",
+                              telemetry::trace_id_hex(p.trace.request_id));
+      e.str_args.emplace_back("batch", batch_hex);
+      rec.record(std::move(e));
+    }
+  }
+
+  // Answers one request: promise, counters, latency sketch, SLO check,
+  // retro request span, and (for coalesced duplicates) the flow arrow from
+  // the owning derive. `owner_flow` is empty for non-coalesced requests.
+  const auto finish = [&](Pending& p, AlignResult result, bool cache_hit,
+                          const std::string& owner_flow) {
+    const double end_us = rec.now_us();
+    const double latency_us = end_us - p.submitted_us;
+    const auto latency_ns = static_cast<std::uint64_t>(latency_us * 1e3);
+    flight.record(cache_hit ? telemetry::FlightEventKind::kCacheHit
+                            : telemetry::FlightEventKind::kComplete,
+                  p.trace.request_id, batch_id, latency_ns, shard);
+    if (config_.latency_objective_s > 0.0 &&
+        latency_us > config_.latency_objective_s * 1e6) {
+      slo_breaches_.fetch_add(1, std::memory_order_relaxed);
+      flight.record(
+          telemetry::FlightEventKind::kSloBreach, p.trace.request_id, batch_id,
+          latency_ns,
+          static_cast<std::uint64_t>(config_.latency_objective_s * 1e9));
+      if (telem) reg.counter("service.slo.breaches").add(1);
+      maybe_dump_postmortem("slo_breach", postmortem_slo_);
+    }
+    if (telem) {
+      reg.sketch("service.latency.request_ns").record(latency_ns);
+      if (cache_hit) {
+        reg.sketch("service.latency.cache_hit_ns").record(latency_ns);
+      }
+      telemetry::TraceEvent e;
+      e.name = cache_hit ? "service.request.cache_hit" : "service.request";
+      e.category = "service";
+      e.ts_us = p.submitted_us;
+      e.dur_us = latency_us;
+      e.pid = 3;
+      e.tid = lane_of(p.trace.request_id);
+      e.str_args.emplace_back("request",
+                              telemetry::trace_id_hex(p.trace.request_id));
+      e.str_args.emplace_back("batch", batch_hex);
+      e.args = {{"shard", static_cast<double>(shard)},
+                {"coalesced", owner_flow.empty() ? 0.0 : 1.0}};
+      rec.record(std::move(e));
+      if (!owner_flow.empty()) {
+        telemetry::TraceEvent f;
+        f.name = "coalesce";
+        f.category = "service";
+        f.phase = 'f';
+        f.flow_id = owner_flow;
+        f.ts_us = end_us;
+        f.pid = 3;
+        f.tid = lane_of(p.trace.request_id);
+        rec.record(std::move(f));
+      }
+    }
+    // Count BEFORE fulfilling: a client that wakes from future.get() must
+    // see its own completion in stats()/snapshots.
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    p.promise.set_value(std::move(result));
+  };
 
   std::vector<bool> fulfilled(batch.size(), false);
   try {
@@ -206,10 +353,9 @@ void AlignmentServer::process_batch(std::size_t shard, Batch batch) {
           result.outcome = std::move(*hit);
           result.shard = static_cast<std::uint32_t>(shard);
           result.cache_hit = true;
-          batch[i].promise.set_value(std::move(result));
-          fulfilled[i] = true;
           cache_hits_.fetch_add(1, std::memory_order_relaxed);
-          completed_.fetch_add(1, std::memory_order_relaxed);
+          finish(batch[i], std::move(result), /*cache_hit=*/true, {});
+          fulfilled[i] = true;
           continue;
         }
       }
@@ -227,7 +373,9 @@ void AlignmentServer::process_batch(std::size_t shard, Batch batch) {
       slot_of_miss[m] = it->second;
     }
 
-    // 3) ONE coalesced functional pass for every distinct miss.
+    // 3) ONE coalesced functional pass for every distinct miss. The worker
+    //    carries the batch id while it runs, so any span or launch inside
+    //    the pass is attributable to this batch.
     std::vector<FunctionalBatchItem> items;
     items.reserve(unique.size());
     for (const std::size_t i : unique) {
@@ -235,20 +383,44 @@ void AlignmentServer::process_batch(std::size_t shard, Batch batch) {
                        batch[i].request.params, config_.options});
     }
     pipeline_items_.fetch_add(items.size(), std::memory_order_relaxed);
+    flight.record(telemetry::FlightEventKind::kPipelineRun, Digest128{},
+                  batch_id, items.size(), shard);
     if (telem) {
-      telemetry::MetricsRegistry::global()
-          .counter("service.pipeline.items")
-          .add(items.size());
+      reg.counter("service.pipeline.items").add(items.size());
     }
-    std::vector<FastzStudy> studies =
-        run_functional_batch(items, config_.threads_per_shard);
+    std::vector<FastzStudy> studies;
+    {
+      telemetry::TraceContext batch_ctx;
+      batch_ctx.batch_id = batch_id;
+      telemetry::ScopedTraceContext scoped(batch_ctx);
+      studies = run_functional_batch(items, config_.threads_per_shard);
+    }
 
     // 4) Derive modeled device time on this shard's virtual GPU, populate
-    //    the cache, and charge the shard.
+    //    the cache, and charge the shard. Each derive runs under the owning
+    //    request's context: every kernel launch it performs lands in the
+    //    profiler stamped with this batch and request.
     std::vector<AlignOutcome> outcomes(unique.size());
+    std::vector<double> derive_end_us(unique.size(), 0.0);
     double charged_s = 0.0;
     for (std::size_t u = 0; u < unique.size(); ++u) {
+      telemetry::TraceContext ctx;
+      ctx.request_id = batch[unique[u]].trace.request_id;
+      ctx.batch_id = batch_id;
+      telemetry::ScopedTraceContext scoped(ctx);
+      const double derive_start_us = rec.now_us();
       const FastzRun run = studies[u].derive(config_.config, config_.device);
+      if (telem) {
+        telemetry::TraceEvent e;
+        e.name = "service.derive";
+        e.category = "service";
+        e.ts_us = derive_start_us;
+        e.dur_us = rec.now_us() - derive_start_us;
+        e.str_args.emplace_back("request", telemetry::trace_id_hex(ctx.request_id));
+        e.str_args.emplace_back("batch", batch_hex);
+        rec.record(std::move(e));
+      }
+      derive_end_us[u] = rec.now_us();
       AlignOutcome outcome;
       outcome.alignments = studies[u].alignments();
       outcome.seeds = studies[u].seeds();
@@ -260,31 +432,62 @@ void AlignmentServer::process_batch(std::size_t shard, Batch batch) {
     }
     shards_.charge(shard, charged_s);
 
-    // 5) Fulfill every miss from its slot's outcome.
+    // 5) Fulfill every miss from its slot's outcome. A coalesced duplicate
+    //    gets its own span plus a flow arrow from the owning derive span,
+    //    emitted once per owner on first use.
+    std::vector<bool> flow_started(unique.size(), false);
     for (std::size_t m = 0; m < misses.size(); ++m) {
       const std::size_t i = misses[m];
+      const std::size_t u = slot_of_miss[m];
       AlignResult result;
-      result.outcome = outcomes[slot_of_miss[m]];
+      result.outcome = outcomes[u];
       result.shard = static_cast<std::uint32_t>(shard);
-      result.coalesced = (unique[slot_of_miss[m]] != i);
+      result.coalesced = (unique[u] != i);
+      std::string owner_flow;
       if (result.coalesced) {
         coalesced_.fetch_add(1, std::memory_order_relaxed);
+        flight.record(telemetry::FlightEventKind::kCoalesced,
+                      batch[i].trace.request_id, batch_id, 0, shard);
         if (telem) {
-          telemetry::MetricsRegistry::global().counter("service.coalesced").add(1);
+          reg.counter("service.coalesced").add(1);
+          owner_flow =
+              "coal:" +
+              telemetry::trace_id_hex(batch[unique[u]].trace.request_id);
+          if (!flow_started[u]) {
+            flow_started[u] = true;
+            telemetry::TraceEvent start;
+            start.name = "coalesce";
+            start.category = "service";
+            start.phase = 's';
+            start.flow_id = owner_flow;
+            start.ts_us = derive_end_us[u];
+            rec.record(std::move(start));
+          }
         }
       }
-      batch[i].promise.set_value(std::move(result));
+      finish(batch[i], std::move(result), /*cache_hit=*/false, owner_flow);
       fulfilled[i] = true;
-      completed_.fetch_add(1, std::memory_order_relaxed);
     }
   } catch (...) {
     // A failed batch (e.g. invalid per-request params) reports through the
     // futures of every request it had not answered yet.
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (fulfilled[i]) continue;
-      batch[i].promise.set_exception(std::current_exception());
       completed_.fetch_add(1, std::memory_order_relaxed);
+      batch[i].promise.set_exception(std::current_exception());
     }
+  }
+
+  if (telem) {
+    telemetry::TraceEvent e;
+    e.name = "service.batch";
+    e.category = "service";
+    e.ts_us = batch_start_us;
+    e.dur_us = rec.now_us() - batch_start_us;
+    e.str_args.emplace_back("batch", batch_hex);
+    e.args = {{"items", static_cast<double>(batch.size())},
+              {"shard", static_cast<double>(shard)}};
+    rec.record(std::move(e));
   }
 }
 

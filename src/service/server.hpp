@@ -40,6 +40,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -49,6 +50,7 @@
 #include "gpusim/device_spec.hpp"
 #include "service/result_cache.hpp"
 #include "service/service.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace fastz::service {
 
@@ -62,6 +64,14 @@ struct ServerConfig {
   bool enable_cache = true;
   std::size_t cache_max_entries = 1024;
   std::size_t cache_max_bytes = std::size_t{64} << 20;
+  // Latency objective (SLO) per request, 0 = none. Breaches are counted,
+  // recorded in the flight recorder, and (with postmortem_path set) dump a
+  // post-mortem the first time.
+  double latency_objective_s = 0.0;
+  // Prefix for flight-recorder post-mortem dumps. When non-empty the
+  // server writes "<prefix>.<cause>.json" on the first queue-full shed,
+  // the first latency-objective breach, and at shutdown drain.
+  std::string postmortem_path;
   PipelineOptions options;        // server-wide pipeline knobs (not keyed)
   FastzConfig config = FastzConfig::full();       // derived configuration
   gpusim::DeviceSpec device = gpusim::titan_x_pascal();  // per-shard vGPU
@@ -71,7 +81,10 @@ struct ServerConfig {
 // metrics in docs/TELEMETRY.md).
 struct ServerStats {
   std::uint64_t accepted = 0;
-  std::uint64_t shed = 0;          // admission rejections
+  std::uint64_t shed = 0;          // admission rejections, every cause
+  std::uint64_t shed_queue_full = 0;  // bounded queue at capacity
+  std::uint64_t shed_shutdown = 0;    // submitted after shutdown() began
+  std::uint64_t slo_breaches = 0;  // completions over latency_objective_s
   std::uint64_t completed = 0;     // futures fulfilled (errors included)
   std::uint64_t cache_hits = 0;
   std::uint64_t coalesced = 0;     // in-batch duplicates served by one run
@@ -113,12 +126,19 @@ class AlignmentServer {
     AlignRequest request;
     Digest128 key;
     std::promise<AlignResult> promise;
+    telemetry::TraceContext trace;  // request id minted at submit; batch id
+                                    // stamped when the batcher seals a batch
+    double submitted_us = 0.0;      // TraceRecorder clock, for retro spans
+                                    // and latency accounting
   };
   using Batch = std::vector<Pending>;
 
   void batcher_loop();
   void worker_loop(std::size_t shard);
   void process_batch(std::size_t shard, Batch batch);
+  // First-occurrence-per-cause flight-recorder dump (no-op without
+  // postmortem_path).
+  void maybe_dump_postmortem(const char* cause, std::atomic<bool>& once);
 
   ServerConfig config_;
   ResultCache cache_;
@@ -141,12 +161,18 @@ class AlignmentServer {
   // Monotonic counters; workers bump them without taking mutex_.
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> shed_queue_full_{0};
+  std::atomic<std::uint64_t> shed_shutdown_{0};
+  std::atomic<std::uint64_t> slo_breaches_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> pipeline_items_{0};
   std::atomic<std::size_t> max_queue_depth_{0};
+
+  std::atomic<bool> postmortem_queue_full_{false};
+  std::atomic<bool> postmortem_slo_{false};
 
   std::thread batcher_;
   std::vector<std::thread> workers_;

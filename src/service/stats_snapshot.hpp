@@ -1,0 +1,44 @@
+// fastz.stats/v1 — point-in-time operational snapshot of an
+// AlignmentServer, as one compact JSON object.
+//
+// The snapshot is the service's "what is happening right now" surface:
+// queue depth against its limit, batch occupancy, cache hit rate, shard
+// busy-time imbalance, shed/SLO accounting, the latency quantile sketches
+// (service.latency.* — real quantiles with QuantileSketch's documented
+// relative-error bound), and cumulative per-kernel launch totals from an
+// optionally-supplied profiler session.
+//
+// All fields are CUMULATIVE (or instantaneous, like queue depth) — rates
+// over an interval are the consumer's job: bench_service emits one
+// snapshot per interval to a JSONL file, and the `fastz_stats` CLI
+// differences consecutive lines into a time series. That keeps the
+// emitter allocation-light and the schema trivially mergeable.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "service/server.hpp"
+
+namespace fastz::gpusim {
+class ProfilerSession;
+}
+
+namespace fastz::service {
+
+inline constexpr const char* kStatsSchema = "fastz.stats/v1";
+
+// Writes one snapshot object (single line, trailing newline — JSONL
+// friendly). `uptime_s` is the caller's elapsed-time stamp (monotonic
+// seconds since its run began; the library takes no clock of its own so
+// emission stays deterministic under test). `profiler` adds cumulative
+// per-kernel-name launch totals when non-null.
+void write_stats_snapshot(std::ostream& out, const AlignmentServer& server,
+                          double uptime_s,
+                          const gpusim::ProfilerSession* profiler = nullptr);
+
+// write_stats_snapshot into a string (tests, CLI piping).
+std::string stats_snapshot_json(const AlignmentServer& server, double uptime_s,
+                                const gpusim::ProfilerSession* profiler = nullptr);
+
+}  // namespace fastz::service

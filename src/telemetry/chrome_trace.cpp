@@ -32,8 +32,9 @@ void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events
     for (const std::uint32_t pid : named) seen = seen || pid == e.pid;
     if (seen) continue;
     named.push_back(e.pid);
-    emit_process_name(e.pid, e.pid == 2 ? "virtual gpu (modeled)"
-                                        : "process " + std::to_string(e.pid));
+    emit_process_name(e.pid, e.pid == 2   ? "virtual gpu (modeled)"
+                             : e.pid == 3 ? "service requests"
+                                          : "process " + std::to_string(e.pid));
   }
 
   for (const TraceEvent& e : events) {
@@ -45,9 +46,16 @@ void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events
     if (e.phase == 'X') w.field("dur", e.dur_us);
     w.field("pid", static_cast<std::uint64_t>(e.pid));
     w.field("tid", static_cast<std::uint64_t>(e.tid));
-    if (!e.args.empty()) {
+    if (e.phase == 's' || e.phase == 'f') {
+      w.field("id", e.flow_id);
+      // Bind the flow finish to the enclosing slice so the arrow lands on
+      // the span, not between spans.
+      if (e.phase == 'f') w.field("bp", "e");
+    }
+    if (!e.args.empty() || !e.str_args.empty()) {
       w.key("args").begin_object();
       for (const auto& [k, v] : e.args) w.field(k, v);
+      for (const auto& [k, v] : e.str_args) w.field(k, v);
       w.end_object();
     }
     w.end_object();

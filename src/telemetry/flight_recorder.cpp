@@ -1,0 +1,184 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "telemetry/trace_context.hpp"
+
+namespace fastz::telemetry {
+
+std::string_view flight_event_kind_name(FlightEventKind kind) noexcept {
+  switch (kind) {
+    case FlightEventKind::kNone:
+      return "none";
+    case FlightEventKind::kSubmit:
+      return "submit";
+    case FlightEventKind::kShedQueueFull:
+      return "shed_queue_full";
+    case FlightEventKind::kShedShutdown:
+      return "shed_shutdown";
+    case FlightEventKind::kBatchDispatch:
+      return "batch_dispatch";
+    case FlightEventKind::kCacheHit:
+      return "cache_hit";
+    case FlightEventKind::kCoalesced:
+      return "coalesced";
+    case FlightEventKind::kPipelineRun:
+      return "pipeline_run";
+    case FlightEventKind::kComplete:
+      return "complete";
+    case FlightEventKind::kSloBreach:
+      return "slo_breach";
+    case FlightEventKind::kShutdownDrain:
+      return "shutdown_drain";
+  }
+  return "unknown";
+}
+
+namespace {
+std::atomic<std::uint64_t> next_recorder_id{1};
+}  // namespace
+
+FlightRecorder::FlightRecorder()
+    : epoch_(std::chrono::steady_clock::now()),
+      id_(next_recorder_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+FlightRecorder::Ring& FlightRecorder::local_ring() {
+  // Per-(thread, recorder) ring, found by linear scan of a tiny
+  // thread-local list — in practice one entry (the global recorder),
+  // a handful in tests that build their own recorders.
+  thread_local std::vector<std::pair<std::uint64_t, std::shared_ptr<Ring>>>
+      rings;
+  for (const auto& [owner, ring] : rings) {
+    if (owner == id_) return *ring;
+  }
+  auto fresh = std::make_shared<Ring>();
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    fresh->tid = next_tid_++;
+    rings_.push_back(fresh);
+  }
+  rings.emplace_back(id_, fresh);
+  return *fresh;
+}
+
+void FlightRecorder::record(FlightEventKind kind, const Digest128& request,
+                            const Digest128& batch, std::uint64_t arg0,
+                            std::uint64_t arg1) noexcept {
+  Ring& ring = local_ring();
+  const std::uint64_t seq = ring.head.load(std::memory_order_relaxed);
+  auto& slot = ring.slots[seq % kRingEvents];
+  const auto ts_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  slot[0].store(ts_ns, std::memory_order_relaxed);
+  slot[1].store(static_cast<std::uint64_t>(kind) |
+                    (static_cast<std::uint64_t>(ring.tid) << 32),
+                std::memory_order_relaxed);
+  slot[2].store(request.hi, std::memory_order_relaxed);
+  slot[3].store(request.lo, std::memory_order_relaxed);
+  slot[4].store(batch.hi, std::memory_order_relaxed);
+  slot[5].store(batch.lo, std::memory_order_relaxed);
+  slot[6].store(arg0, std::memory_order_relaxed);
+  slot[7].store(arg1, std::memory_order_relaxed);
+  // Publish: readers that see this head know the slot's words were stored
+  // (possibly later overwritten — torn events are tolerated by design).
+  ring.head.store(seq + 1, std::memory_order_release);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    rings = rings_;
+  }
+  std::vector<FlightEvent> events;
+  for (const auto& ring : rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t live = std::min<std::uint64_t>(head, kRingEvents);
+    for (std::uint64_t i = head - live; i < head; ++i) {
+      const auto& slot = ring->slots[i % kRingEvents];
+      FlightEvent ev;
+      ev.ts_ns = slot[0].load(std::memory_order_relaxed);
+      const std::uint64_t word1 = slot[1].load(std::memory_order_relaxed);
+      ev.kind = static_cast<FlightEventKind>(word1 & 0xFFFFFFFFull);
+      ev.tid = static_cast<std::uint32_t>(word1 >> 32);
+      ev.request.hi = slot[2].load(std::memory_order_relaxed);
+      ev.request.lo = slot[3].load(std::memory_order_relaxed);
+      ev.batch.hi = slot[4].load(std::memory_order_relaxed);
+      ev.batch.lo = slot[5].load(std::memory_order_relaxed);
+      ev.arg0 = slot[6].load(std::memory_order_relaxed);
+      ev.arg1 = slot[7].load(std::memory_order_relaxed);
+      if (ev.kind != FlightEventKind::kNone) events.push_back(ev);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return events;
+}
+
+void FlightRecorder::dump_json(std::ostream& out, std::string_view cause,
+                               std::size_t max_events) const {
+  std::vector<FlightEvent> events = snapshot();
+  const std::size_t dropped =
+      events.size() > max_events ? events.size() - max_events : 0;
+  if (dropped != 0) {
+    events.erase(events.begin(),
+                 events.begin() + static_cast<std::ptrdiff_t>(dropped));
+  }
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", "fastz.flight/v1");
+  w.field("cause", cause);
+  w.field("recorded_total", recorded());
+  w.field("dropped_in_dump", static_cast<std::uint64_t>(dropped));
+  w.key("events").begin_array();
+  for (const FlightEvent& ev : events) {
+    w.begin_object();
+    w.field("ts_ns", ev.ts_ns);
+    w.field("kind", flight_event_kind_name(ev.kind));
+    w.field("tid", static_cast<std::uint64_t>(ev.tid));
+    if (ev.request != Digest128{}) w.field("request", trace_id_hex(ev.request));
+    if (ev.batch != Digest128{}) w.field("batch", trace_id_hex(ev.batch));
+    w.field("arg0", ev.arg0);
+    w.field("arg1", ev.arg1);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+bool FlightRecorder::dump_json_file(const std::string& path,
+                                    std::string_view cause,
+                                    std::size_t max_events) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  dump_json(out, cause, max_events);
+  return out.good();
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& ring : rings_) {
+    for (auto& slot : ring->slots) {
+      for (auto& word : slot) word.store(0, std::memory_order_relaxed);
+    }
+    ring->head.store(0, std::memory_order_release);
+  }
+  recorded_.store(0, std::memory_order_relaxed);
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+}  // namespace fastz::telemetry

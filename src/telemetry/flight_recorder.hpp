@@ -1,0 +1,123 @@
+// Always-on lock-free flight recorder: a fixed-size per-thread ring of
+// recent control-plane events, dumped as bounded JSON post-mortems.
+//
+// Unlike the rest of telemetry this is NOT gated on telemetry::enabled():
+// the whole point is that when the service sheds, breaches its latency
+// objective, or drains at shutdown, the last few hundred events per
+// thread are already there — who submitted, what was dispatched where,
+// which requests were the victims. The cost budget is the same <2% bound
+// as the telemetry switch: recording is one thread-local lookup plus
+// eight relaxed atomic stores and a release publish, no locks, no
+// allocation after a thread's first event, and events are emitted only on
+// service control-path operations (per request, never per DP cell).
+//
+// Concurrency model: each ring has exactly one writer (its thread);
+// readers (dump/snapshot) take a registry snapshot and read the rings
+// with relaxed loads. A slot being overwritten mid-read can yield a
+// MIXED event (words from two different records) — acceptable for a
+// post-mortem and free of data races because every word is an atomic.
+// Dumps are bounded: at most `max_events` most-recent events, ring
+// capacity per thread, fixed-size records.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/digest.hpp"
+
+namespace fastz::telemetry {
+
+enum class FlightEventKind : std::uint32_t {
+  kNone = 0,
+  kSubmit = 1,         // arg0 = queue depth after enqueue
+  kShedQueueFull = 2,  // arg0 = queue depth, arg1 = queue limit
+  kShedShutdown = 3,
+  kBatchDispatch = 4,  // arg0 = batch size, arg1 = shard
+  kCacheHit = 5,       // arg1 = shard
+  kCoalesced = 6,      // arg1 = shard
+  kPipelineRun = 7,    // arg0 = unique items run, arg1 = shard
+  kComplete = 8,       // arg0 = latency ns, arg1 = shard
+  kSloBreach = 9,      // arg0 = latency ns, arg1 = objective ns
+  kShutdownDrain = 10,
+};
+
+std::string_view flight_event_kind_name(FlightEventKind kind) noexcept;
+
+struct FlightEvent {
+  std::uint64_t ts_ns = 0;  // steady-clock ns since the recorder epoch
+  FlightEventKind kind = FlightEventKind::kNone;
+  std::uint32_t tid = 0;  // recorder-assigned small thread id
+  Digest128 request{};
+  Digest128 batch{};
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kRingEvents = 256;  // per thread, ~16 KB
+
+  FlightRecorder();
+
+  // Wait-free; safe from any thread at any time.
+  void record(FlightEventKind kind, const Digest128& request = {},
+              const Digest128& batch = {}, std::uint64_t arg0 = 0,
+              std::uint64_t arg1 = 0) noexcept;
+
+  // Best-effort merged copy of every ring's surviving events, oldest
+  // first. At most kRingEvents per registered thread.
+  std::vector<FlightEvent> snapshot() const;
+
+  // Events ever recorded (including ones the rings have since dropped).
+  std::uint64_t recorded() const noexcept {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+  // Bounded post-mortem: `{"schema": "fastz.flight/v1", "cause": ...,
+  // "events": [...]}` with at most `max_events` most-recent events.
+  void dump_json(std::ostream& out, std::string_view cause,
+                 std::size_t max_events = 1024) const;
+  // Returns false when the file cannot be opened/written.
+  bool dump_json_file(const std::string& path, std::string_view cause,
+                      std::size_t max_events = 1024) const;
+
+  // Drops every ring's events (tests/bench boundaries; rings stay
+  // registered).
+  void clear();
+
+  // Process-wide recorder used by the service instrumentation.
+  static FlightRecorder& global();
+
+ private:
+  // One event is eight relaxed-atomic words:
+  // [0] ts_ns, [1] kind | tid<<32, [2..3] request, [4..5] batch,
+  // [6] arg0, [7] arg1.
+  static constexpr std::size_t kWords = 8;
+  struct Ring {
+    std::array<std::array<std::atomic<std::uint64_t>, kWords>, kRingEvents> slots{};
+    std::atomic<std::uint64_t> head{0};  // events ever written to this ring
+    std::uint32_t tid = 0;
+  };
+
+  Ring& local_ring();
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+  std::uint32_t next_tid_ = 0;
+  std::atomic<std::uint64_t> recorded_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  // Process-unique instance id: thread-local ring lookup keys on it rather
+  // than `this`, so a recorder reallocated at a dead recorder's address
+  // never inherits the dead recorder's rings.
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace fastz::telemetry

@@ -103,8 +103,37 @@ MetricsRegistry::histogram_snapshot() const {
     snap.min = h->min();
     snap.max = h->max();
     snap.mean = h->mean();
-    snap.p50_upper = h->percentile_upper_bound(50.0);
-    snap.p99_upper = h->percentile_upper_bound(99.0);
+    snap.p50_bucket_upper = h->percentile_upper_bound(50.0);
+    snap.p99_bucket_upper = h->percentile_upper_bound(99.0);
+    out.emplace_back(name, snap);
+  }
+  return out;
+}
+
+QuantileSketch& MetricsRegistry::sketch(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = sketches_.find(name);
+  if (it == sketches_.end()) {
+    it = sketches_.emplace(std::string(name), std::make_unique<QuantileSketch>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, SketchSnapshot>>
+MetricsRegistry::sketch_snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, SketchSnapshot>> out;
+  out.reserve(sketches_.size());
+  for (const auto& [name, s] : sketches_) {
+    SketchSnapshot snap;
+    snap.count = s->count();
+    snap.sum = s->sum();
+    snap.min = s->min();
+    snap.max = s->max();
+    snap.p50 = s->quantile(0.50);
+    snap.p99 = s->quantile(0.99);
+    snap.p999 = s->quantile(0.999);
     out.emplace_back(name, snap);
   }
   return out;
@@ -114,6 +143,7 @@ void MetricsRegistry::reset_values() {
   std::lock_guard lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, s] : sketches_) s->reset();
 }
 
 std::size_t MetricsRegistry::counter_count() const {
@@ -124,6 +154,11 @@ std::size_t MetricsRegistry::counter_count() const {
 std::size_t MetricsRegistry::histogram_count() const {
   std::lock_guard lock(mutex_);
   return histograms_.size();
+}
+
+std::size_t MetricsRegistry::sketch_count() const {
+  std::lock_guard lock(mutex_);
+  return sketches_.size();
 }
 
 MetricsRegistry& MetricsRegistry::global() {

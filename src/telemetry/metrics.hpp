@@ -22,6 +22,8 @@
 #include <string_view>
 #include <vector>
 
+#include "telemetry/quantile_sketch.hpp"
+
 namespace fastz::telemetry {
 
 // Monotonically increasing 64-bit counter. `add` is lock-free and safe from
@@ -74,15 +76,29 @@ class LogHistogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
-// Point-in-time copy of a histogram, for exporters.
+// Point-in-time copy of a histogram, for exporters. The percentile fields
+// are log2 BUCKET UPPER BOUNDS (up to 2x above the true percentile) — the
+// names say so; use a QuantileSketch when a real quantile is needed.
 struct HistogramSnapshot {
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
   std::uint64_t min = 0;
   std::uint64_t max = 0;
   double mean = 0.0;
-  std::uint64_t p50_upper = 0;
-  std::uint64_t p99_upper = 0;
+  std::uint64_t p50_bucket_upper = 0;
+  std::uint64_t p99_bucket_upper = 0;
+};
+
+// Point-in-time copy of a quantile sketch, for exporters. Quantiles carry
+// the sketch's relative-error bound (QuantileSketch::kRelativeError).
+struct SketchSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
 };
 
 class MetricsRegistry {
@@ -91,11 +107,13 @@ class MetricsRegistry {
   // lifetime, so call sites may cache it.
   Counter& counter(std::string_view name);
   LogHistogram& histogram(std::string_view name);
+  QuantileSketch& sketch(std::string_view name);
 
   // Sorted-by-name copies of current values (zero-valued instruments are
   // included; callers filter if they want).
   std::vector<std::pair<std::string, std::uint64_t>> counter_snapshot() const;
   std::vector<std::pair<std::string, HistogramSnapshot>> histogram_snapshot() const;
+  std::vector<std::pair<std::string, SketchSnapshot>> sketch_snapshot() const;
 
   // Zeroes every instrument, keeping registrations (cached pointers stay
   // valid). Bench harnesses call this between repeats.
@@ -103,6 +121,7 @@ class MetricsRegistry {
 
   std::size_t counter_count() const;
   std::size_t histogram_count() const;
+  std::size_t sketch_count() const;
 
   // Process-wide registry used by the built-in instrumentation.
   static MetricsRegistry& global();
@@ -113,6 +132,7 @@ class MetricsRegistry {
   // map itself is never erased from.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<LogHistogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<QuantileSketch>, std::less<>> sketches_;
 };
 
 }  // namespace fastz::telemetry

@@ -1,0 +1,96 @@
+#include "telemetry/quantile_sketch.hpp"
+
+#include <cmath>
+
+namespace fastz::telemetry {
+
+namespace {
+
+// ln(gamma), computed once. Not constexpr because std::log is not.
+double ln_gamma() noexcept {
+  static const double v = std::log(QuantileSketch::kGamma);
+  return v;
+}
+
+}  // namespace
+
+std::size_t QuantileSketch::slot_of(std::uint64_t value) noexcept {
+  if (value == 0) return 0;
+  // i = ceil(log_gamma(v)): v in (gamma^(i-1), gamma^i]. v = 1 maps to i = 0.
+  const double i = std::ceil(std::log(static_cast<double>(value)) / ln_gamma());
+  const auto index = i <= 0.0 ? std::uint64_t{0} : static_cast<std::uint64_t>(i);
+  const std::size_t slot = static_cast<std::size_t>(index) + 1;
+  return slot < kSlots ? slot : kSlots - 1;
+}
+
+double QuantileSketch::slot_estimate(std::size_t slot) noexcept {
+  if (slot == 0) return 0.0;
+  // (1 - alpha) * gamma^i: within (1 +- alpha) of the whole bucket range.
+  return (1.0 - kRelativeError) *
+         std::exp(static_cast<double>(slot - 1) * ln_gamma());
+}
+
+void QuantileSketch::record(std::uint64_t value) noexcept {
+  slots_[slot_of(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t QuantileSketch::min() const noexcept {
+  const std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+double QuantileSketch::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // 0-based rank of the q-quantile element in the sorted stream.
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t slot = 0; slot < kSlots; ++slot) {
+    seen += slots_[slot].load(std::memory_order_relaxed);
+    if (seen > rank) return slot_estimate(slot);
+  }
+  return static_cast<double>(max());
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) noexcept {
+  for (std::size_t slot = 0; slot < kSlots; ++slot) {
+    const std::uint64_t n = other.slots_[slot].load(std::memory_order_relaxed);
+    if (n != 0) slots_[slot].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  const std::uint64_t omin = other.min_.load(std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (omin < seen &&
+         !min_.compare_exchange_weak(seen, omin, std::memory_order_relaxed)) {
+  }
+  const std::uint64_t omax = other.max();
+  seen = max_.load(std::memory_order_relaxed);
+  while (omax > seen &&
+         !max_.compare_exchange_weak(seen, omax, std::memory_order_relaxed)) {
+  }
+}
+
+void QuantileSketch::reset() noexcept {
+  for (auto& slot : slots_) slot.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace fastz::telemetry

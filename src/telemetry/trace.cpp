@@ -34,13 +34,17 @@ TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
 
 void TraceRecorder::record(std::string name, std::string category, double ts_us,
                            double dur_us) {
-  ThreadBuffer& buffer = local_buffer();
   TraceEvent event;
   event.name = std::move(name);
   event.category = std::move(category);
   event.ts_us = ts_us;
   event.dur_us = dur_us;
-  event.tid = buffer.tid;
+  record(std::move(event));
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  ThreadBuffer& buffer = local_buffer();
+  if (event.pid == 1) event.tid = buffer.tid;
   std::lock_guard lock(buffer.mutex);
   buffer.events.push_back(std::move(event));
 }

@@ -37,8 +37,14 @@ struct TraceEvent {
   double dur_us = 0.0;
   std::uint32_t tid = 0;
   std::uint32_t pid = 1;
-  char phase = 'X';  // 'X' complete span, 'C' counter sample
+  // 'X' complete span, 'C' counter sample, 's'/'f' flow start/finish
+  // (linked arrows between spans; `flow_id` names the flow).
+  char phase = 'X';
   std::vector<std::pair<std::string, double>> args;
+  // String-valued args (trace/batch/request ids and the like); merged with
+  // `args` into the same Chrome "args" object.
+  std::vector<std::pair<std::string, std::string>> str_args;
+  std::string flow_id;  // required for 's'/'f' events, ignored otherwise
 };
 
 class TraceRecorder {
@@ -47,6 +53,13 @@ class TraceRecorder {
 
   // Appends to the calling thread's buffer (registering it on first use).
   void record(std::string name, std::string category, double ts_us, double dur_us);
+
+  // Full-control overload: the caller supplies every field except `tid`,
+  // which is overwritten with the calling thread's lane (pid-1 events
+  // only; other pids keep the caller's tid). Used for retro-recorded
+  // spans (queue wait measured at dequeue), flow events, and id-tagged
+  // request spans.
+  void record(TraceEvent event);
 
   // Microseconds since this recorder's epoch (monotonic clock).
   double now_us() const noexcept;

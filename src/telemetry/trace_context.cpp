@@ -1,0 +1,63 @@
+#include "telemetry/trace_context.hpp"
+
+#include <atomic>
+
+namespace fastz::telemetry {
+
+namespace {
+
+// splitmix64 finalizer — full-period bijection, so distinct counters can
+// never collide.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::atomic<std::uint64_t> g_next_request{1};
+std::atomic<std::uint64_t> g_next_batch{1};
+
+Digest128 mint(std::atomic<std::uint64_t>& next, std::uint64_t salt) noexcept {
+  const std::uint64_t n = next.fetch_add(1, std::memory_order_relaxed);
+  // Lanes are independent mixes of the same counter; lo keeps the raw
+  // counter in its low bits so traces stay human-orderable.
+  Digest128 id;
+  id.hi = mix64(n ^ salt);
+  id.lo = (mix64(n + salt) & ~0xFFFFFFull) | (n & 0xFFFFFFull);
+  if (id.hi == 0 && id.lo == 0) id.lo = 1;  // zero means "unset"
+  return id;
+}
+
+thread_local TraceContext t_current{};
+
+}  // namespace
+
+Digest128 mint_request_id() noexcept {
+  return mint(g_next_request, 0x7265717565737431ull);  // "request1"
+}
+
+Digest128 mint_batch_id() noexcept {
+  return mint(g_next_batch, 0x62617463682D6964ull);  // "batch-id"
+}
+
+std::string trace_id_hex(const Digest128& id) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(i)] = kHex[(id.hi >> (60 - 4 * i)) & 0xF];
+    out[static_cast<std::size_t>(16 + i)] = kHex[(id.lo >> (60 - 4 * i)) & 0xF];
+  }
+  return out;
+}
+
+const TraceContext& current_trace_context() noexcept { return t_current; }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& context) noexcept
+    : previous_(t_current) {
+  t_current = context;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_current = previous_; }
+
+}  // namespace fastz::telemetry

@@ -1,0 +1,162 @@
+// FlightRecorder: lock-free per-thread rings, wrap-around retention,
+// concurrent writers, bounded JSON post-mortems. Each test uses its own
+// recorder instance so state never bleeds across tests (the id-keyed
+// thread-local lookup makes that safe even when stack addresses repeat).
+#include "telemetry/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "telemetry/trace_context.hpp"
+
+namespace fastz::telemetry {
+namespace {
+
+TEST(FlightRecorder, RecordsEventsWithPayloads) {
+  FlightRecorder rec;
+  const Digest128 req = mint_request_id();
+  const Digest128 batch = mint_batch_id();
+  rec.record(FlightEventKind::kSubmit, req, {}, /*arg0=*/3);
+  rec.record(FlightEventKind::kBatchDispatch, {}, batch, /*arg0=*/8, /*arg1=*/1);
+  rec.record(FlightEventKind::kComplete, req, batch, /*arg0=*/125'000, /*arg1=*/1);
+
+  const std::vector<FlightEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kSubmit);
+  EXPECT_EQ(events[0].request, req);
+  EXPECT_EQ(events[0].arg0, 3u);
+  EXPECT_EQ(events[1].kind, FlightEventKind::kBatchDispatch);
+  EXPECT_EQ(events[1].batch, batch);
+  EXPECT_EQ(events[2].kind, FlightEventKind::kComplete);
+  EXPECT_EQ(events[2].request, req);
+  EXPECT_EQ(events[2].batch, batch);
+  EXPECT_EQ(events[2].arg0, 125'000u);
+  // Oldest-first by timestamp.
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+  EXPECT_LE(events[1].ts_ns, events[2].ts_ns);
+  EXPECT_EQ(rec.recorded(), 3u);
+}
+
+TEST(FlightRecorder, KindNamesCoverEveryKind) {
+  EXPECT_EQ(flight_event_kind_name(FlightEventKind::kSubmit), "submit");
+  EXPECT_EQ(flight_event_kind_name(FlightEventKind::kShedQueueFull),
+            "shed_queue_full");
+  EXPECT_EQ(flight_event_kind_name(FlightEventKind::kSloBreach), "slo_breach");
+  EXPECT_EQ(flight_event_kind_name(FlightEventKind::kShutdownDrain),
+            "shutdown_drain");
+}
+
+TEST(FlightRecorder, RingWrapsKeepingTheMostRecentEvents) {
+  FlightRecorder rec;
+  const std::size_t total = FlightRecorder::kRingEvents + 100;
+  for (std::size_t i = 0; i < total; ++i) {
+    rec.record(FlightEventKind::kSubmit, {}, {}, /*arg0=*/i);
+  }
+  EXPECT_EQ(rec.recorded(), total);
+  const std::vector<FlightEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), FlightRecorder::kRingEvents)
+      << "the ring keeps exactly its capacity";
+  // The survivors are the most recent writes, still in order.
+  EXPECT_EQ(events.front().arg0, total - FlightRecorder::kRingEvents);
+  EXPECT_EQ(events.back().arg0, total - 1);
+}
+
+TEST(FlightRecorder, ConcurrentWritersGetSeparateRings) {
+  FlightRecorder rec;
+  constexpr int kThreads = 4;
+  constexpr std::size_t kPerThread = 100;  // under ring capacity: no drops
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        rec.record(FlightEventKind::kComplete, {}, {},
+                   /*arg0=*/static_cast<std::uint64_t>(t) * 1000 + i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::vector<FlightEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), kThreads * kPerThread);
+  std::set<std::uint32_t> tids;
+  std::set<std::uint64_t> payloads;
+  for (const FlightEvent& ev : events) {
+    tids.insert(ev.tid);
+    payloads.insert(ev.arg0);
+  }
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads))
+      << "each writer thread gets its own ring/tid";
+  EXPECT_EQ(payloads.size(), kThreads * kPerThread) << "no event lost or torn";
+}
+
+TEST(FlightRecorder, DumpJsonIsParseableAndCarriesIds) {
+  FlightRecorder rec;
+  const Digest128 victim = mint_request_id();
+  rec.record(FlightEventKind::kSubmit, victim, {}, 1);
+  rec.record(FlightEventKind::kShedQueueFull, victim, {}, /*arg0=*/32,
+             /*arg1=*/32);
+
+  std::ostringstream out;
+  rec.dump_json(out, "queue_full");
+  const JsonValue doc = JsonValue::parse(out.str());
+  EXPECT_EQ(doc.at("schema").as_string(), "fastz.flight/v1");
+  EXPECT_EQ(doc.at("cause").as_string(), "queue_full");
+  EXPECT_EQ(doc.at("recorded_total").as_number(), 2.0);
+  EXPECT_EQ(doc.at("dropped_in_dump").as_number(), 0.0);
+  const auto& events = doc.at("events").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].at("kind").as_string(), "shed_queue_full");
+  EXPECT_EQ(events[1].at("request").as_string(), trace_id_hex(victim))
+      << "the dump must name the shed victim";
+  EXPECT_EQ(events[1].at("arg1").as_number(), 32.0);
+  // Zero ids are omitted, not rendered as all-zero hex.
+  EXPECT_EQ(events[0].find("batch"), nullptr);
+}
+
+TEST(FlightRecorder, DumpIsBoundedToMaxEvents) {
+  FlightRecorder rec;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    rec.record(FlightEventKind::kSubmit, {}, {}, i);
+  }
+  std::ostringstream out;
+  rec.dump_json(out, "test", /*max_events=*/10);
+  const JsonValue doc = JsonValue::parse(out.str());
+  const auto& events = doc.at("events").as_array();
+  ASSERT_EQ(events.size(), 10u);
+  EXPECT_EQ(doc.at("dropped_in_dump").as_number(), 40.0);
+  // The survivors are the 10 MOST RECENT events.
+  EXPECT_EQ(events.front().at("arg0").as_number(), 40.0);
+  EXPECT_EQ(events.back().at("arg0").as_number(), 49.0);
+}
+
+TEST(FlightRecorder, ClearDropsEventsButKeepsRecording) {
+  FlightRecorder rec;
+  rec.record(FlightEventKind::kSubmit);
+  rec.clear();
+  EXPECT_EQ(rec.snapshot().size(), 0u);
+  EXPECT_EQ(rec.recorded(), 0u);
+  rec.record(FlightEventKind::kComplete);
+  ASSERT_EQ(rec.snapshot().size(), 1u);
+  EXPECT_EQ(rec.snapshot()[0].kind, FlightEventKind::kComplete);
+}
+
+TEST(FlightRecorder, SeparateRecordersDoNotShareRings) {
+  // Two live recorders on one thread keep fully separate ring registries
+  // (the regression this guards: ring lookup keyed by address could hand a
+  // reallocated recorder a dead recorder's ring).
+  FlightRecorder a;
+  FlightRecorder b;
+  a.record(FlightEventKind::kSubmit, {}, {}, 1);
+  b.record(FlightEventKind::kComplete, {}, {}, 2);
+  ASSERT_EQ(a.snapshot().size(), 1u);
+  ASSERT_EQ(b.snapshot().size(), 1u);
+  EXPECT_EQ(a.snapshot()[0].kind, FlightEventKind::kSubmit);
+  EXPECT_EQ(b.snapshot()[0].kind, FlightEventKind::kComplete);
+}
+
+}  // namespace
+}  // namespace fastz::telemetry

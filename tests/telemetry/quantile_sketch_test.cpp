@@ -1,0 +1,201 @@
+// QuantileSketch pinned against sorted-vector ground truth: every
+// estimate must sit within the documented relative-error bound
+// (kRelativeError) of the exact empirical quantile, across uniform,
+// heavy-tailed, bimodal, and constant streams, after merges, and under
+// concurrent recording.
+#include "telemetry/quantile_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace fastz::telemetry {
+namespace {
+
+// Exact empirical quantile matching the sketch's rank convention
+// (rank = q * (n - 1) over the sorted stream).
+std::uint64_t exact_quantile(std::vector<std::uint64_t> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1));
+  return values[rank];
+}
+
+void expect_within_bound(const QuantileSketch& sketch,
+                         const std::vector<std::uint64_t>& values, double q,
+                         const char* label) {
+  const double est = sketch.quantile(q);
+  const double truth = static_cast<double>(exact_quantile(values, q));
+  // |est - truth| <= alpha * truth, with a hair of slack for float
+  // rounding in the log/exp bucket math.
+  const double bound = QuantileSketch::kRelativeError * truth + 1e-9;
+  EXPECT_NEAR(est, truth, bound)
+      << label << " q=" << q << " n=" << values.size();
+}
+
+void check_all_quantiles(const QuantileSketch& sketch,
+                         const std::vector<std::uint64_t>& values,
+                         const char* label) {
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    expect_within_bound(sketch, values, q, label);
+  }
+}
+
+TEST(QuantileSketch, EmptySketchReportsZero) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.sum(), 0u);
+  EXPECT_EQ(sketch.min(), 0u);
+  EXPECT_EQ(sketch.max(), 0u);
+  EXPECT_EQ(sketch.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, SlotRoundTripStaysWithinRelativeError) {
+  // The bucket invariant behind the whole guarantee: the estimate a slot
+  // reports is within (1 +- alpha) of every value that maps to the slot.
+  const std::vector<std::uint64_t> probes = {
+      1,         2,
+      17,        1000,
+      123456789, 98765432101234ull,
+      UINT64_MAX / 2, UINT64_MAX};
+  for (const std::uint64_t v : probes) {
+    const std::size_t slot = QuantileSketch::slot_of(v);
+    const double est = QuantileSketch::slot_estimate(slot);
+    EXPECT_NEAR(est, static_cast<double>(v),
+                QuantileSketch::kRelativeError * static_cast<double>(v) * 1.01)
+        << "value " << v;
+  }
+  EXPECT_EQ(QuantileSketch::slot_of(0), 0u);
+  EXPECT_EQ(QuantileSketch::slot_estimate(0), 0.0);
+}
+
+TEST(QuantileSketch, UniformStreamMatchesGroundTruth) {
+  QuantileSketch sketch;
+  std::vector<std::uint64_t> values;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = 1 + rng() % 1'000'000;  // ~latency ns scale
+    values.push_back(v);
+    sketch.record(v);
+  }
+  EXPECT_EQ(sketch.count(), values.size());
+  check_all_quantiles(sketch, values, "uniform");
+}
+
+TEST(QuantileSketch, HeavyTailedStreamMatchesGroundTruth) {
+  // Log-uniform over nine decades — the regime where log2 bucket upper
+  // bounds are off by up to 2x but the sketch must stay within 1%.
+  QuantileSketch sketch;
+  std::vector<std::uint64_t> values;
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 20000; ++i) {
+    const double exponent =
+        static_cast<double>(rng() % 9'000'000) / 1'000'000.0;  // [0, 9)
+    const auto v = static_cast<std::uint64_t>(std::pow(10.0, exponent)) + 1;
+    values.push_back(v);
+    sketch.record(v);
+  }
+  check_all_quantiles(sketch, values, "heavy-tailed");
+}
+
+TEST(QuantileSketch, BimodalStreamMatchesGroundTruth) {
+  // Cache hits (~microseconds) vs misses (~milliseconds): the service's
+  // actual latency shape.
+  QuantileSketch sketch;
+  std::vector<std::uint64_t> values;
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    const bool hit = rng() % 10 < 6;
+    const std::uint64_t v =
+        hit ? 1'000 + rng() % 5'000 : 2'000'000 + rng() % 8'000'000;
+    values.push_back(v);
+    sketch.record(v);
+  }
+  check_all_quantiles(sketch, values, "bimodal");
+}
+
+TEST(QuantileSketch, ConstantStreamIsNearExact) {
+  QuantileSketch sketch;
+  for (int i = 0; i < 100; ++i) sketch.record(42'000);
+  EXPECT_NEAR(sketch.quantile(0.5), 42'000.0,
+              QuantileSketch::kRelativeError * 42'000.0);
+  EXPECT_EQ(sketch.min(), 42'000u);
+  EXPECT_EQ(sketch.max(), 42'000u);
+  EXPECT_EQ(sketch.sum(), 4'200'000u);
+}
+
+TEST(QuantileSketch, ZerosLandInTheExactSlot) {
+  QuantileSketch sketch;
+  for (int i = 0; i < 10; ++i) sketch.record(0);
+  sketch.record(1'000'000);
+  EXPECT_EQ(sketch.count(), 11u);
+  EXPECT_EQ(sketch.quantile(0.5), 0.0);  // zeros dominate the median
+  EXPECT_EQ(sketch.min(), 0u);
+  EXPECT_GT(sketch.quantile(1.0), 0.0);
+}
+
+TEST(QuantileSketch, MergeEqualsUnionStream) {
+  QuantileSketch a;
+  QuantileSketch b;
+  QuantileSketch whole;
+  std::vector<std::uint64_t> values;
+  Xoshiro256 rng(41);
+  for (int i = 0; i < 8000; ++i) {
+    const std::uint64_t v = 1 + rng() % 10'000'000;
+    values.push_back(v);
+    (i % 2 == 0 ? a : b).record(v);
+    whole.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.sum(), whole.sum());
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+  check_all_quantiles(a, values, "merged");
+  for (const double q : {0.5, 0.99}) {
+    EXPECT_EQ(a.quantile(q), whole.quantile(q)) << "merge must be exact, q=" << q;
+  }
+}
+
+TEST(QuantileSketch, ConcurrentRecordersLoseNothing) {
+  QuantileSketch sketch;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sketch, t] {
+      Xoshiro256 rng(100 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) sketch.record(1 + rng() % 1'000'000);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(sketch.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Re-generate the union stream to pin the quantiles too.
+  std::vector<std::uint64_t> values;
+  for (int t = 0; t < kThreads; ++t) {
+    Xoshiro256 rng(100 + static_cast<std::uint64_t>(t));
+    for (int i = 0; i < kPerThread; ++i) values.push_back(1 + rng() % 1'000'000);
+  }
+  check_all_quantiles(sketch, values, "concurrent");
+}
+
+TEST(QuantileSketch, ResetEmptiesEverything) {
+  QuantileSketch sketch;
+  sketch.record(5);
+  sketch.record(500);
+  sketch.reset();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.sum(), 0u);
+  EXPECT_EQ(sketch.min(), 0u);
+  EXPECT_EQ(sketch.max(), 0u);
+  EXPECT_EQ(sketch.quantile(0.99), 0.0);
+}
+
+}  // namespace
+}  // namespace fastz::telemetry
