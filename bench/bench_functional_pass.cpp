@@ -25,6 +25,7 @@
 #include "sequence/benchmark_pairs.hpp"
 #include "telemetry/bench_report.hpp"
 #include "util/cli.hpp"
+#include "util/simd.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -176,6 +177,70 @@ int main(int argc, char** argv) {
   kernel_row("soa fast (no census)", soa_fast_min);
   kernel.render(std::cout, false);
 
+  // --- Part 3: strip kernel, scalar vs SIMD (interleaved A/B) -------------
+  // The vectorized sweep must be bit-identical to the forced-scalar sweep —
+  // checked field-for-field (trace included) before anything is timed, and
+  // the process exits nonzero on any divergence. Timing interleaves the two
+  // variants per repeat so thermal / scheduler drift cancels.
+  const simd::Isa simd_isa = simd::active_isa();
+  double scalar_min = 0.0;
+  double simd_min = 0.0;
+  {
+    StripKernelOptions traced;
+    traced.want_traceback = true;
+    for (const auto& [va, vb] : views) {
+      StripKernelResult want;
+      {
+        simd::ScopedIsa force(simd::Isa::kScalar);
+        want = strip_rectangle_dp(va, vb, params, traced);
+      }
+      simd::ScopedIsa force(simd_isa);
+      const StripKernelResult got = strip_rectangle_dp(va, vb, params, traced);
+      if (got.best.score != want.best.score || got.best.i != want.best.i ||
+          got.best.j != want.best.j || got.cells != want.cells ||
+          got.boundary_spill_bytes != want.boundary_spill_bytes ||
+          got.divergence_histogram != want.divergence_histogram ||
+          got.trace != want.trace || got.ops != want.ops) {
+        throw std::runtime_error(std::string("SIMD strip kernel (") +
+                                 simd::isa_name(simd_isa) +
+                                 ") diverged from forced-scalar sweep");
+      }
+    }
+
+    for (int rep = 0; rep < repeats; ++rep) {
+      double s = 0.0;
+      {
+        simd::ScopedIsa force(simd::Isa::kScalar);
+        s = min_time_s(1, [&] {
+          for (const auto& [va, vb] : views)
+            (void)strip_rectangle_dp(va, vb, params, fast);
+        });
+      }
+      double v = 0.0;
+      {
+        simd::ScopedIsa force(simd_isa);
+        v = min_time_s(1, [&] {
+          for (const auto& [va, vb] : views)
+            (void)strip_rectangle_dp(va, vb, params, fast);
+        });
+      }
+      if (rep == 0 || s < scalar_min) scalar_min = s;
+      if (rep == 0 || v < simd_min) simd_min = v;
+    }
+  }
+
+  std::cout << "\n=== Strip kernel, scalar vs SIMD (score-only, "
+            << simd::isa_report() << ") ===\n";
+  TextTable ab({"Variant", "Min wallclock (ms)", "GCUPS", "Speedup vs scalar"});
+  auto ab_row = [&](const std::string& name, double t) {
+    ab.add_row({name, TextTable::num(t * 1e3, 2),
+                TextTable::num(static_cast<double>(aos_cells) / t * 1e-9, 3),
+                TextTable::num(scalar_min / t, 2)});
+  };
+  ab_row("scalar", scalar_min);
+  ab_row(simd::isa_name(simd_isa), simd_min);
+  ab.render(std::cout, false);
+
   if (!json_path.empty()) {
     telemetry::BenchReport report("functional_pass");
     report.set_repeats(repeats);
@@ -190,6 +255,9 @@ int main(int argc, char** argv) {
     report.add_metric("kernel.soa_fast_min_s", soa_fast_min);
     report.add_metric("kernel.soa_speedup", aos_min / soa_min);
     report.add_metric("kernel.soa_fast_speedup", aos_min / soa_fast_min);
+    report.add_metric("kernel.scalar_min_s", scalar_min);
+    report.add_metric("kernel.simd_min_s", simd_min);
+    report.add_metric("kernel.simd_speedup", scalar_min / simd_min);
     if (report.write_file(json_path)) {
       std::cout << "\nwrote " << json_path << "\n";
     } else {

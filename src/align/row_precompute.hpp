@@ -1,0 +1,59 @@
+// Vectorized "phase A" of a DP row sweep.
+//
+// The y-drop row body (ydrop_row_core.hpp) and the full-matrix Gotoh
+// reference share the same split: within one row, the D state and the
+// diagonal candidate depend only on the PREVIOUS row, so they vectorize
+// cleanly, while the S/I chain carries a serial within-row dependency (the
+// insertion chain reads the cell just written) and stays scalar. This
+// header is the vector half: given the previous row's S/D arrays and a
+// substitution profile, it precomputes, for a contiguous column span,
+//
+//   d_ext    = add(gd_up[k],  gap_extend)
+//   d_open   = add(s_up[k],   gap_open + gap_extend)
+//   d_opened = d_open >= d_ext          (the tie rule the trace codes pin)
+//   d_val    = d_opened ? d_open : d_ext
+//   diag     = add(s_diag[k], prof[k])
+//
+// in two flavors of `add`: the y-drop core's saturating add_score (where
+// kNegativeInfinity absorbs) and the Gotoh reference's plain integer add.
+// Both are bit-identical to their scalar ancestors by construction — the
+// scalar phase B consumes these values verbatim.
+//
+// Internal header of src/align (fastz::detail).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "score/score_params.hpp"
+#include "util/simd.hpp"
+
+namespace fastz::detail {
+
+// d_val / diag / d_opened are written for k in [0, count). All input and
+// output spans may be unaligned; they must not overlap.
+using RowPrecomputeFn = void (*)(const Score* s_up, const Score* s_diag,
+                                 const Score* gd_up, const Score* prof,
+                                 Score open_extend, Score extend_only,
+                                 std::size_t count, Score* d_val, Score* diag,
+                                 std::uint8_t* d_opened);
+
+// Scalar references (also the tail loop of every vector variant).
+void row_precompute_scalar(const Score* s_up, const Score* s_diag, const Score* gd_up,
+                           const Score* prof, Score open_extend, Score extend_only,
+                           std::size_t count, Score* d_val, Score* diag,
+                           std::uint8_t* d_opened);
+void row_precompute_plain_scalar(const Score* s_up, const Score* s_diag,
+                                 const Score* gd_up, const Score* prof,
+                                 Score open_extend, Score extend_only, std::size_t count,
+                                 Score* d_val, Score* diag, std::uint8_t* d_opened);
+
+// Saturating-add variant for `isa` (y-drop semantics), or null when the ISA
+// is scalar / not compiled into this binary — callers fall back to their
+// original scalar row body.
+RowPrecomputeFn row_precompute_fn(simd::Isa isa) noexcept;
+
+// Plain-add variant (Gotoh reference semantics); same fallback contract.
+RowPrecomputeFn row_precompute_plain_fn(simd::Isa isa) noexcept;
+
+}  // namespace fastz::detail

@@ -12,15 +12,23 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "align/gotoh_reference.hpp"
+#include "align/row_precompute.hpp"
 #include "align/seq_view.hpp"
 #include "align/traceback.hpp"
 #include "score/score_params.hpp"
+#include "util/aligned.hpp"
+#include "util/simd.hpp"
 
 namespace fastz::detail {
+
+// 64-byte-aligned row storage: the vectorized phase-A precompute loads the
+// previous row's S/D planes with full vectors.
+using AlignedScores = std::vector<Score, util::AlignedAllocator<Score, 64>>;
 
 // One DP row: scores for columns [lo, lo + width). Pruned cells store
 // kNegativeInfinity so downstream reads see them as unreachable — LASTZ's
@@ -31,9 +39,9 @@ struct ScoreRow {
   std::uint32_t width = 0;
   std::uint32_t first = 0;  // first viable column (absolute)
   std::uint32_t last = 0;   // last viable column (absolute)
-  std::vector<Score> s;
-  std::vector<Score> gi;
-  std::vector<Score> gd;
+  AlignedScores s;
+  AlignedScores gi;
+  AlignedScores gd;
 
   void ensure_capacity(std::size_t n) {
     if (s.size() < n) {
@@ -62,6 +70,24 @@ constexpr TraceCode row0_code(std::uint32_t j) noexcept {
                 : make_trace(kTraceSrcI, j == 1, false);
 }
 
+// Engage the vectorized phase-A precompute only when the core span is at
+// least this wide; narrower rows are pure overhead for a vector setup.
+inline constexpr std::uint32_t kRowSimdMinSpan = 8;
+
+// Mutable SIMD scratch owned by the row sweep. The fn pointer is resolved
+// once per sweep from the active ISA; the score profile
+// (profile[c][j] == subst[c][b[j]]) is built lazily up to a column
+// watermark with amortized doubling so short extensions never pay for the
+// full sequence. All buffers are reused across rows.
+struct RowSimdState {
+  RowPrecomputeFn fn = nullptr;
+  std::array<AlignedScores, kAlphabetSize> profile;
+  std::uint32_t built = 0;  // profile covers columns [0, built)
+  AlignedScores d_val;
+  AlignedScores diag;
+  std::vector<std::uint8_t> d_opened;
+};
+
 // Immutable per-call state of a row sweep.
 struct RowContext {
   SeqView a;
@@ -72,6 +98,7 @@ struct RowContext {
   Score open_extend = 0;
   Score extend_only = 0;
   bool sequential = false;         // PruneMode::kSequential
+  mutable RowSimdState simd;       // scratch, not semantic state
 };
 
 inline RowContext make_row_context(SeqView a, SeqView b, const ScoreParams& params,
@@ -92,6 +119,7 @@ inline RowContext make_row_context(SeqView a, SeqView b, const ScoreParams& para
           : n + 1;
   ctx.open_extend = params.gap_open + params.gap_extend;
   ctx.extend_only = params.gap_extend;
+  ctx.simd.fn = row_precompute_fn(simd::active_isa());
   return ctx;
 }
 
@@ -180,6 +208,49 @@ inline RowOutcome advance_row(const RowContext& ctx, std::uint32_t row, ScoreRow
   const Score* const pd = prev.gd.data();
   TraceCode* const tc = trow != nullptr ? trow->codes.data() : nullptr;
 
+  // Phase A (vectorized): precompute the D candidates and diagonal sums for
+  // the core span where both the up and the diag cell fall inside the
+  // previous row — those depend only on completed prev-row data, so they
+  // vectorize cleanly. The serial S/I chain, pruning, best tracking, and
+  // traceback packing stay in the scalar loop below, which consumes these
+  // arrays. The scalar early-break fires only at j >= prev_hi, strictly past
+  // the core span, so no precomputed cell is wasted.
+  std::uint32_t core_lo = 0;
+  std::uint32_t core_count = 0;
+  if (ctx.simd.fn != nullptr) {
+    const std::uint32_t span_lo = std::max(std::max(start_lo, 1u), prev_lo + 1);
+    const std::uint32_t span_hi = std::min(j_cap, prev_hi - 1);  // inclusive
+    if (span_lo <= span_hi && span_hi - span_lo + 1 >= kRowSimdMinSpan) {
+      RowSimdState& st = ctx.simd;
+      if (st.built < span_hi) {
+        const std::uint32_t grown = std::min(
+            ctx.n, std::max({span_hi, st.built * 2, std::uint32_t{256}}));
+        for (std::uint32_t c = 0; c < kAlphabetSize; ++c) st.profile[c].resize(grown);
+        for (std::uint32_t col = st.built; col < grown; ++col) {
+          const BaseCode b_code = ctx.b[col];
+          for (std::uint32_t c = 0; c < kAlphabetSize; ++c) {
+            st.profile[c][col] = params.subst[c][b_code];
+          }
+        }
+        st.built = grown;
+      }
+      core_lo = span_lo;
+      core_count = span_hi - span_lo + 1;
+      if (st.d_val.size() < core_count) {
+        st.d_val.resize(core_count);
+        st.diag.resize(core_count);
+        st.d_opened.resize(core_count);
+      }
+      st.fn(ps + (span_lo - prev_lo), ps + (span_lo - 1 - prev_lo),
+            pd + (span_lo - prev_lo), st.profile[a_base].data() + (span_lo - 1),
+            ctx.open_extend, ctx.extend_only, core_count, st.d_val.data(),
+            st.diag.data(), st.d_opened.data());
+    }
+  }
+  const Score* const sim_d = ctx.simd.d_val.data();
+  const Score* const sim_g = ctx.simd.diag.data();
+  const std::uint8_t* const sim_o = ctx.simd.d_opened.data();
+
   // Previous-row reads for absolute column j:
   //   s_diag = prev S at j-1, s_up / d_up = prev S / D at j.
   // Valid range for prev arrays: [prev_lo, prev_hi).
@@ -221,19 +292,33 @@ inline RowOutcome advance_row(const RowContext& ctx, std::uint32_t row, ScoreRow
     const bool i_opened = i_open >= i_ext;
     const Score i_val = i_opened ? i_open : i_ext;
 
-    // D: gap in B — arrive from above (previous row).
-    const bool has_up = (j >= prev_lo) & (j < prev_hi);
-    const Score s_up = has_up ? ps[j - prev_lo] : kNegativeInfinity;
-    const Score d_up = has_up ? pd[j - prev_lo] : kNegativeInfinity;
-    const Score d_ext = add_score(d_up, ctx.extend_only);
-    const Score d_open = add_score(s_up, ctx.open_extend);
-    const bool d_opened = d_open >= d_ext;
-    const Score d_val = d_opened ? d_open : d_ext;
+    // D: gap in B — arrive from above (previous row); diag: substitution
+    // candidate. Inside the core span both come precomputed from phase A
+    // (bit-identical arithmetic); outside it the scalar forms below also
+    // handle the missing-neighbor edges.
+    Score d_val;
+    Score diag;
+    bool d_opened;
+    if (j - core_lo < core_count) {  // unsigned: j < core_lo wraps huge
+      const std::uint32_t ck = j - core_lo;
+      d_val = sim_d[ck];
+      diag = sim_g[ck];
+      d_opened = sim_o[ck] != 0;
+    } else {
+      const bool has_up = (j >= prev_lo) & (j < prev_hi);
+      const Score s_up = has_up ? ps[j - prev_lo] : kNegativeInfinity;
+      const Score d_up = has_up ? pd[j - prev_lo] : kNegativeInfinity;
+      const Score d_ext = add_score(d_up, ctx.extend_only);
+      const Score d_open = add_score(s_up, ctx.open_extend);
+      d_opened = d_open >= d_ext;
+      d_val = d_opened ? d_open : d_ext;
+
+      const bool has_diag = (j > prev_lo) & (j <= prev_hi);
+      const Score s_diag = has_diag ? ps[j - 1 - prev_lo] : kNegativeInfinity;
+      diag = add_score(s_diag, sub_row[ctx.b[j - 1]]);
+    }
 
     // S: diagonal vs the gap states (tie preference diag > I > D).
-    const bool has_diag = (j > prev_lo) & (j <= prev_hi);
-    const Score s_diag = has_diag ? ps[j - 1 - prev_lo] : kNegativeInfinity;
-    const Score diag = add_score(s_diag, sub_row[ctx.b[j - 1]]);
     Score s_val = diag;
     TraceCode s_src = kTraceSrcDiag;
     if (i_val > s_val) {

@@ -4,86 +4,41 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fastz/strip_kernel_detail.hpp"
 #include "gpusim/memory_ledger.hpp"
+#include "util/simd.hpp"
 
 namespace fastz {
 
 namespace {
 
-constexpr Score add_score(Score base, Score delta) noexcept {
-  return base <= kNegativeInfinity ? kNegativeInfinity : base + delta;
-}
+using detail::LaneFiles;
+using detail::strip_add_score;
 
-// SoA lane state. Each "register file" is one contiguous Score array per
-// live diagonal; the end-of-step rotation exchanges pointers instead of
-// copying 32-lane structs (the AoS `p2 = p1; p1 = cur` full-array copies
-// this replaced are preserved in strip_rectangle_dp_reference).
-//
-// Depth per file follows what the data flow actually reads:
-//   S needs three diagonals (s_diag comes from t-2), I and D only two
-//   (gi_left / gd_up come from t-1; their t-2 values are dead).
-struct LaneFiles {
-  Score s[3][kWarpWidth];
-  Score gi[2][kWarpWidth];
-  Score gd[2][kWarpWidth];
-
-  Score* s_p2;
-  Score* s_p1;
-  Score* s_cur;
-  Score* gi_p1;
-  Score* gi_cur;
-  Score* gd_p1;
-  Score* gd_cur;
-
-  // Strip entry: every diagonal of every file holds -inf (the AoS
-  // LaneRegs{} default).
-  void reset() noexcept {
-    for (auto& diag : s) std::fill(diag, diag + kWarpWidth, kNegativeInfinity);
-    for (auto& diag : gi) std::fill(diag, diag + kWarpWidth, kNegativeInfinity);
-    for (auto& diag : gd) std::fill(diag, diag + kWarpWidth, kNegativeInfinity);
-    s_p2 = s[0];
-    s_p1 = s[1];
-    s_cur = s[2];
-    gi_p1 = gi[0];
-    gi_cur = gi[1];
-    gd_p1 = gd[0];
-    gd_cur = gd[1];
-  }
-
-  // End of step: the t-2 diagonal is dead; its storage becomes the next
-  // step's cur. Values for lanes not yet (or no longer) in the pipeline go
-  // stale in the recycled buffers, but the sweep never reads a lane's state
-  // before that lane's first write of the step that produces it.
-  void rotate() noexcept {
-    Score* const dead = s_p2;
-    s_p2 = s_p1;
-    s_p1 = s_cur;
-    s_cur = dead;
-    std::swap(gi_p1, gi_cur);
-    std::swap(gd_p1, gd_cur);
-  }
-};
-
-// The anti-diagonal sweep over all strips. WantTrace / Census lift the
-// per-cell traceback store and the per-step divergence census out of the
-// hot loop at compile time: the score-only instantiation carries no
-// bookkeeping branches in the lane loop at all.
+// The scalar anti-diagonal sweep over all strips. WantTrace / Census lift
+// the per-cell traceback store and the per-step divergence census out of
+// the hot loop at compile time: the score-only instantiation carries no
+// bookkeeping branches in the lane loop at all. The vectorized siblings
+// (strip_kernel_simd_impl.hpp, dispatched below on simd::active_isa())
+// must stay bit-identical to this loop.
 template <bool WantTrace, bool Census, bool Banded = false>
 void run_strips(SeqView a, SeqView b, const ScoreParams& params,
-                StripKernelResult& result, std::uint32_t band_begin = 0,
-                std::uint32_t band_end = 0) {
+                StripKernelResult& result, StripKernelScratch& scratch,
+                std::uint32_t band_begin = 0, std::uint32_t band_end = 0) {
   const auto m = static_cast<std::uint32_t>(a.size());
   const auto n = static_cast<std::uint32_t>(b.size());
   const std::size_t stride = std::size_t{n} + 1;
 
   // Boundary column spilled by each strip's last lane for the next strip's
   // lane 0 (index: row). Strip 0 reads the DP column-0 border instead.
-  // Double-buffered across strips so the per-strip reset is an assign, not
-  // an allocation.
-  std::vector<Score> bound_s(std::size_t{m} + 1);
-  std::vector<Score> bound_gi(std::size_t{m} + 1);
-  std::vector<Score> next_bound_s;
-  std::vector<Score> next_bound_gi;
+  // Double-buffered across strips in the caller's scratch arena, so the
+  // per-strip reset is an assign and the steady state never allocates.
+  scratch.bound_s.resize(std::size_t{m} + 1);
+  scratch.bound_gi.resize(std::size_t{m} + 1);
+  std::vector<Score>& bound_s = scratch.bound_s;
+  std::vector<Score>& bound_gi = scratch.bound_gi;
+  std::vector<Score>& next_bound_s = scratch.next_bound_s;
+  std::vector<Score>& next_bound_gi = scratch.next_bound_gi;
 
   const std::uint32_t strip_count = (n + kWarpWidth - 1) / kWarpWidth;
   result.strips = strip_count;
@@ -166,17 +121,17 @@ void run_strips(SeqView a, SeqView b, const ScoreParams& params,
         const Score s_up = regs.s_p1[l];
         const Score gd_up = regs.gd_p1[l];
 
-        const Score i_ext = add_score(gi_left, params.gap_extend);
-        const Score i_open = add_score(s_left, params.gap_open + params.gap_extend);
+        const Score i_ext = strip_add_score(gi_left, params.gap_extend);
+        const Score i_open = strip_add_score(s_left, params.gap_open + params.gap_extend);
         const bool i_opened = i_open >= i_ext;
         const Score i_val = i_opened ? i_open : i_ext;
 
-        const Score d_ext = add_score(gd_up, params.gap_extend);
-        const Score d_open = add_score(s_up, params.gap_open + params.gap_extend);
+        const Score d_ext = strip_add_score(gd_up, params.gap_extend);
+        const Score d_open = strip_add_score(s_up, params.gap_open + params.gap_extend);
         const bool d_opened = d_open >= d_ext;
         const Score d_val = d_opened ? d_open : d_ext;
 
-        const Score diag = add_score(s_diag, params.substitution(a[i - 1], b[j - 1]));
+        const Score diag = strip_add_score(s_diag, params.substitution(a[i - 1], b[j - 1]));
         Score s_val = diag;
         TraceCode s_src = kTraceSrcDiag;
         if (i_val > s_val) {
@@ -235,10 +190,32 @@ void run_strips(SeqView a, SeqView b, const ScoreParams& params,
   }
 }
 
+// Vectorized entry point for the active ISA, or null when the sweep should
+// run the scalar loop (scalar selected, or the ISA's TU not compiled in).
+detail::StripSimdFn strip_simd_fn(simd::Isa isa) noexcept {
+  switch (isa) {
+#ifdef FASTZ_SIMD_HAS_SSE2
+    case simd::Isa::kSse2:
+      return &detail::run_strips_sse2;
+#endif
+#ifdef FASTZ_SIMD_HAS_AVX2
+    case simd::Isa::kAvx2:
+      return &detail::run_strips_avx2;
+#endif
+#ifdef FASTZ_SIMD_HAS_NEON
+    case simd::Isa::kNeon:
+      return &detail::run_strips_neon;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
 }  // namespace
 
 StripKernelResult strip_rectangle_dp(SeqView a, SeqView b, const ScoreParams& params,
-                                     const StripKernelOptions& opts) {
+                                     const StripKernelOptions& opts,
+                                     StripKernelScratch& scratch) {
   params.validate();
   const auto m = static_cast<std::uint32_t>(a.size());
   const auto n = static_cast<std::uint32_t>(b.size());
@@ -275,23 +252,39 @@ StripKernelResult strip_rectangle_dp(SeqView a, SeqView b, const ScoreParams& pa
   }
   if (m == 0 || n == 0) return result;
 
-  if (banded) {
+  if (detail::StripSimdFn simd_fn = strip_simd_fn(simd::active_isa());
+      simd_fn != nullptr) {
+    detail::StripSimdArgs args;
+    args.a = a;
+    args.b = b;
+    args.params = &params;
+    args.result = &result;
+    args.scratch = &scratch;
+    args.want_trace = opts.want_traceback;
+    args.census = opts.divergence_census;
+    args.banded = banded;
+    args.band_begin = band_begin;
+    args.band_end = band_end;
+    args.fault_lane = opts.simd_fault_lane;
+    args.fault_delta = opts.simd_fault_delta;
+    simd_fn(args);
+  } else if (banded) {
     if (opts.divergence_census) {
-      run_strips<true, true, true>(a, b, params, result, band_begin, band_end);
+      run_strips<true, true, true>(a, b, params, result, scratch, band_begin, band_end);
     } else {
-      run_strips<true, false, true>(a, b, params, result, band_begin, band_end);
+      run_strips<true, false, true>(a, b, params, result, scratch, band_begin, band_end);
     }
   } else if (opts.want_traceback) {
     if (opts.divergence_census) {
-      run_strips<true, true>(a, b, params, result);
+      run_strips<true, true>(a, b, params, result, scratch);
     } else {
-      run_strips<true, false>(a, b, params, result);
+      run_strips<true, false>(a, b, params, result, scratch);
     }
   } else {
     if (opts.divergence_census) {
-      run_strips<false, true>(a, b, params, result);
+      run_strips<false, true>(a, b, params, result, scratch);
     } else {
-      run_strips<false, false>(a, b, params, result);
+      run_strips<false, false>(a, b, params, result, scratch);
     }
   }
 
@@ -302,6 +295,14 @@ StripKernelResult strip_rectangle_dp(SeqView a, SeqView b, const ScoreParams& pa
                                 });
   }
   return result;
+}
+
+StripKernelResult strip_rectangle_dp(SeqView a, SeqView b, const ScoreParams& params,
+                                     const StripKernelOptions& opts) {
+  // Shared per-thread arena: per-seed callers that don't manage their own
+  // scratch still hit the allocation-free steady state.
+  thread_local StripKernelScratch scratch;
+  return strip_rectangle_dp(a, b, params, opts, scratch);
 }
 
 StripKernelResult strip_rectangle_dp(SeqView a, SeqView b, const ScoreParams& params,

@@ -75,6 +75,13 @@ struct StripKernelResult {
 struct StripKernelOptions {
   bool want_traceback = false;
   bool divergence_census = true;
+  // Test-only fault injection for the simd-vs-scalar differential canary:
+  // when simd_fault_lane >= 0, the vectorized sweeps perturb that lane
+  // (mod vector width) of the gap-open+extend vector by simd_fault_delta.
+  // The scalar path ignores it, so any nonzero delta MUST surface as a
+  // divergence — proof the differ catches lane-local SIMD bugs.
+  int simd_fault_lane = -1;
+  Score simd_fault_delta = 0;
   // Row band [trace_row_begin, trace_row_end) to emit traceback codes for;
   // equal values (the default) mean the full rectangle. A banded run is the
   // device shape of the Hirschberg executor's base block: the kernel sweeps
@@ -86,6 +93,21 @@ struct StripKernelOptions {
   std::uint32_t trace_row_end = 0;
 };
 
+// Reusable per-thread working memory of strip_rectangle_dp: the boundary
+// column spilled between strips (double-buffered) and the SIMD sweeps'
+// reversed query copy. Grows to the largest rectangle seen and is then
+// reused allocation-free — the per-seed steady state performs zero heap
+// allocations on the score-only path (asserted by a counting allocator in
+// tests/fastz/strip_alloc_test.cpp). Callers that don't pass one share a
+// thread-local instance.
+struct StripKernelScratch {
+  std::vector<Score> bound_s;
+  std::vector<Score> bound_gi;
+  std::vector<Score> next_bound_s;
+  std::vector<Score> next_bound_gi;
+  std::vector<BaseCode> a_rev;
+};
+
 // Computes the full (m+1) x (n+1) rectangle for A[0..m) x B[0..n).
 // `want_traceback` allocates the dense trace buffer, so m and n are capped
 // (throws std::invalid_argument beyond `kStripKernelMaxDim` with traceback).
@@ -94,6 +116,12 @@ struct StripKernelOptions {
 // per block. Banded trace is indexed (i - trace_row_begin) * (n+1) + j.
 StripKernelResult strip_rectangle_dp(SeqView a, SeqView b, const ScoreParams& params,
                                      const StripKernelOptions& opts);
+
+// Same, with a caller-owned scratch arena (zero-allocation steady state for
+// per-seed callers that keep one arena per worker).
+StripKernelResult strip_rectangle_dp(SeqView a, SeqView b, const ScoreParams& params,
+                                     const StripKernelOptions& opts,
+                                     StripKernelScratch& scratch);
 
 // Back-compat overload: census on, matching the original instrumented loop.
 StripKernelResult strip_rectangle_dp(SeqView a, SeqView b, const ScoreParams& params,

@@ -1,0 +1,16 @@
+// 256-bit x86 instantiation of the vectorized strip kernel. Compiled with
+// -mavx2 (set per-source in src/fastz/CMakeLists.txt); only reached at
+// runtime when __builtin_cpu_supports("avx2") says so.
+#include "fastz/strip_kernel_detail.hpp"
+
+#if defined(__AVX2__)
+#include "fastz/strip_kernel_simd_impl.hpp"
+
+namespace fastz::detail {
+
+void run_strips_avx2(const StripSimdArgs& args) {
+  run_strips_vec_dispatch<simd::VecAvx2>(args);
+}
+
+}  // namespace fastz::detail
+#endif

@@ -1,0 +1,103 @@
+// Internals shared by the scalar strip kernel (strip_kernel.cpp) and its
+// per-ISA vectorized translation units (strip_kernel_sse2/avx2/neon.cpp).
+//
+// Internal header — implementation detail of src/fastz; nothing outside
+// `fastz::detail` should include it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "fastz/strip_kernel.hpp"
+
+namespace fastz::detail {
+
+constexpr Score strip_add_score(Score base, Score delta) noexcept {
+  return base <= kNegativeInfinity ? kNegativeInfinity : base + delta;
+}
+
+// SoA lane state. Each "register file" is one contiguous Score array per
+// live diagonal; the end-of-step rotation exchanges pointers instead of
+// copying 32-lane structs (the AoS `p2 = p1; p1 = cur` full-array copies
+// this replaced are preserved in strip_rectangle_dp_reference). The planes
+// are cache-line aligned so the vectorized sweeps' own-column loads never
+// straddle a line.
+//
+// Depth per file follows what the data flow actually reads:
+//   S needs three diagonals (s_diag comes from t-2), I and D only two
+//   (gi_left / gd_up come from t-1; their t-2 values are dead).
+struct LaneFiles {
+  alignas(64) Score s[3][kWarpWidth];
+  alignas(64) Score gi[2][kWarpWidth];
+  alignas(64) Score gd[2][kWarpWidth];
+
+  Score* s_p2;
+  Score* s_p1;
+  Score* s_cur;
+  Score* gi_p1;
+  Score* gi_cur;
+  Score* gd_p1;
+  Score* gd_cur;
+
+  // Strip entry: every diagonal of every file holds -inf (the AoS
+  // LaneRegs{} default).
+  void reset() noexcept {
+    for (auto& diag : s) std::fill(diag, diag + kWarpWidth, kNegativeInfinity);
+    for (auto& diag : gi) std::fill(diag, diag + kWarpWidth, kNegativeInfinity);
+    for (auto& diag : gd) std::fill(diag, diag + kWarpWidth, kNegativeInfinity);
+    s_p2 = s[0];
+    s_p1 = s[1];
+    s_cur = s[2];
+    gi_p1 = gi[0];
+    gi_cur = gi[1];
+    gd_p1 = gd[0];
+    gd_cur = gd[1];
+  }
+
+  // End of step: the t-2 diagonal is dead; its storage becomes the next
+  // step's cur. Values for lanes not yet (or no longer) in the pipeline go
+  // stale in the recycled buffers, but the sweep never reads a lane's state
+  // before that lane's first write of the step that produces it.
+  void rotate() noexcept {
+    Score* const dead = s_p2;
+    s_p2 = s_p1;
+    s_p1 = s_cur;
+    s_cur = dead;
+    std::swap(gi_p1, gi_cur);
+    std::swap(gd_p1, gd_cur);
+  }
+};
+
+// Flattened call bundle for the per-ISA kernel entry points (the runtime
+// variant switches are template parameters inside each TU; crossing the TU
+// boundary they travel as plain bools).
+struct StripSimdArgs {
+  SeqView a;
+  SeqView b;
+  const ScoreParams* params = nullptr;
+  StripKernelResult* result = nullptr;
+  StripKernelScratch* scratch = nullptr;
+  bool want_trace = false;
+  bool census = false;
+  bool banded = false;
+  std::uint32_t band_begin = 0;
+  std::uint32_t band_end = 0;
+  // Test-only lane fault (StripKernelOptions::simd_fault_lane/_delta).
+  int fault_lane = -1;
+  Score fault_delta = 0;
+};
+
+using StripSimdFn = void (*)(const StripSimdArgs&);
+
+#ifdef FASTZ_SIMD_HAS_SSE2
+void run_strips_sse2(const StripSimdArgs& args);
+#endif
+#ifdef FASTZ_SIMD_HAS_AVX2
+void run_strips_avx2(const StripSimdArgs& args);
+#endif
+#ifdef FASTZ_SIMD_HAS_NEON
+void run_strips_neon(const StripSimdArgs& args);
+#endif
+
+}  // namespace fastz::detail

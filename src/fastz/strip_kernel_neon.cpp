@@ -1,0 +1,15 @@
+// 128-bit ARM instantiation of the vectorized strip kernel. NEON is
+// architectural on AArch64, so this TU needs no extra compile flags there.
+#include "fastz/strip_kernel_detail.hpp"
+
+#if defined(__ARM_NEON)
+#include "fastz/strip_kernel_simd_impl.hpp"
+
+namespace fastz::detail {
+
+void run_strips_neon(const StripSimdArgs& args) {
+  run_strips_vec_dispatch<simd::VecNeon>(args);
+}
+
+}  // namespace fastz::detail
+#endif

@@ -1,0 +1,361 @@
+// Vectorized anti-diagonal sweep of the warp-strip kernel, templated on an
+// i32 vector type from util/simd_vec.hpp. Included ONLY by the per-ISA
+// translation units (strip_kernel_sse2/avx2/neon.cpp), each compiled with
+// its own target flags — never by baseline code.
+//
+// Bit-identity contract: every score, trace code, census bucket, best cell,
+// and spill byte must equal the scalar `run_strips` in strip_kernel.cpp.
+// The lane loop maps directly:
+//
+//   * interior lanes [ilo, ihi) of a step are computed W at a time; the
+//     neighbor exchange (lane l reads lane l-1's previous diagonals)
+//     becomes unaligned vector loads at offset l-1 into the SoA planes;
+//   * lane 0 (reads the spilled boundary column) and the partial tail
+//     chunk run the scalar body verbatim;
+//   * substitution scores come from a per-strip LUT profile
+//     (prof[c][l] = subst[c][b[j_base + l]], SNIPPETS.md snippet 2)
+//     selected by the lane's query code, which is read as a contiguous
+//     vector from a reversed copy of A (a[t - l - 1] == a_rev[m - t + l]);
+//   * the best-cell scan and the divergence census are movemask
+//     reductions: a compare against the running best (the shared BestCell
+//     rule is a total order, so per-lane consider() in any order is exact)
+//     and a bitset-OR over the packed per-lane trace codes;
+//   * -inf absorption (`add_score`) vectorizes as compare + blend.
+//
+// All per-step state lives in registers or the caller's scratch arena —
+// the sweep performs no heap allocation.
+#pragma once
+
+#include <cstdint>
+
+#include "fastz/strip_kernel_detail.hpp"
+#include "gpusim/memory_ledger.hpp"
+#include "util/simd_vec.hpp"
+
+namespace fastz::detail {
+
+template <class V, bool WantTrace, bool Census, bool Banded>
+void run_strips_vec(const StripSimdArgs& args) {
+  constexpr std::uint32_t W = V::kLanes;
+  const SeqView a = args.a;
+  const SeqView b = args.b;
+  const ScoreParams& params = *args.params;
+  StripKernelResult& result = *args.result;
+  StripKernelScratch& scratch = *args.scratch;
+  const auto m = static_cast<std::uint32_t>(a.size());
+  const auto n = static_cast<std::uint32_t>(b.size());
+  const std::size_t stride = std::size_t{n} + 1;
+  const std::uint32_t band_begin = args.band_begin;
+  const std::uint32_t band_end = args.band_end;
+
+  // Reversed query copy: codes for lanes l..l+W-1 at step t are the
+  // forward-contiguous bytes a_rev[m - t + l ..]. Handles strided /
+  // reversed SeqViews once per call instead of per cell.
+  scratch.a_rev.resize(m);
+  BaseCode* const a_rev = scratch.a_rev.data();
+  for (std::uint32_t k = 0; k < m; ++k) a_rev[k] = a[m - 1 - k];
+
+  scratch.bound_s.resize(std::size_t{m} + 1);
+  scratch.bound_gi.resize(std::size_t{m} + 1);
+  std::vector<Score>& bound_s = scratch.bound_s;
+  std::vector<Score>& bound_gi = scratch.bound_gi;
+  std::vector<Score>& next_bound_s = scratch.next_bound_s;
+  std::vector<Score>& next_bound_gi = scratch.next_bound_gi;
+
+  const std::uint32_t strip_count = (n + kWarpWidth - 1) / kWarpWidth;
+  result.strips = strip_count;
+
+  const V vneg = V::broadcast(kNegativeInfinity);
+  const V vext = V::broadcast(params.gap_extend);
+  const Score open_extend = params.gap_open + params.gap_extend;
+  V voe = V::broadcast(open_extend);
+  if (args.fault_lane >= 0) {
+    // Injected-bug canary: one vector lane opens gaps at a perturbed cost.
+    alignas(64) Score oe_lanes[W];
+    for (std::uint32_t k = 0; k < W; ++k) oe_lanes[k] = open_extend;
+    oe_lanes[static_cast<std::uint32_t>(args.fault_lane) % W] += args.fault_delta;
+    voe = V::load(oe_lanes);
+  }
+  const V vc1 = V::broadcast(1);
+  const V vc2 = V::broadcast(2);
+  const V vc3 = V::broadcast(3);
+  const V vb0 = V::broadcast(1);
+  const V vb1 = V::broadcast(2);
+  const V vb2 = V::broadcast(4);
+  const V vb3 = V::broadcast(8);
+
+  LaneFiles regs;
+
+  for (std::uint32_t strip = 0; strip < strip_count; ++strip) {
+    const std::uint32_t j_base = strip * kWarpWidth;  // lane l owns column j_base+1+l
+    const std::uint32_t lanes = std::min(kWarpWidth, n - j_base);
+
+    regs.reset();
+
+    // Per-strip substitution profile: prof[c][l] scores query code c
+    // against lane l's target column.
+    alignas(64) Score prof[kAlphabetSize][kWarpWidth];
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+      const BaseCode code = b[j_base + l];
+      for (int c = 0; c < kAlphabetSize; ++c) prof[c][l] = params.subst[c][code];
+    }
+
+    // Column-0 border / previous strip's spilled boundary, addressed by row.
+    const bool first_strip = (strip == 0);
+    auto boundary_s = [&](std::uint32_t i) -> Score {
+      if (first_strip) {
+        return i == 0 ? 0 : params.gap_open + static_cast<Score>(i) * params.gap_extend;
+      }
+      return bound_s[i];
+    };
+    auto boundary_gi = [&](std::uint32_t i) -> Score {
+      if (first_strip) return kNegativeInfinity;
+      return bound_gi[i];
+    };
+
+    // Next strip's boundary, written by the strip's last lane.
+    const bool spill = (strip + 1 < strip_count);
+    if (spill) {
+      next_bound_s.assign(std::size_t{m} + 1, kNegativeInfinity);
+      next_bound_gi.assign(std::size_t{m} + 1, kNegativeInfinity);
+    }
+    const std::uint32_t last_lane = lanes - 1;
+    const std::uint32_t boundary_col = j_base + lanes;  // absolute j of last lane
+
+    // Scalar lane body — verbatim the scalar kernel's interior branch; used
+    // for lane 0 (boundary reads) and tail lanes narrower than a vector.
+    auto scalar_lane = [&](std::uint32_t l, std::uint32_t t,
+                           [[maybe_unused]] std::uint32_t& path_mask,
+                           [[maybe_unused]] std::uint32_t& active_lanes) {
+      const std::uint32_t i = t - l;
+      const std::uint32_t j = j_base + 1 + l;
+      Score s_left, gi_left, s_diag;
+      if (l == 0) {
+        s_left = boundary_s(i);
+        gi_left = boundary_gi(i);
+        s_diag = boundary_s(i - 1);
+      } else {
+        s_left = regs.s_p1[l - 1];
+        gi_left = regs.gi_p1[l - 1];
+        s_diag = regs.s_p2[l - 1];
+      }
+      const Score s_up = regs.s_p1[l];
+      const Score gd_up = regs.gd_p1[l];
+
+      const Score i_ext = strip_add_score(gi_left, params.gap_extend);
+      const Score i_open = strip_add_score(s_left, open_extend);
+      const bool i_opened = i_open >= i_ext;
+      const Score i_val = i_opened ? i_open : i_ext;
+
+      const Score d_ext = strip_add_score(gd_up, params.gap_extend);
+      const Score d_open = strip_add_score(s_up, open_extend);
+      const bool d_opened = d_open >= d_ext;
+      const Score d_val = d_opened ? d_open : d_ext;
+
+      const Score diag = strip_add_score(s_diag, prof[a_rev[m + l - t]][l]);
+      Score s_val = diag;
+      TraceCode s_src = kTraceSrcDiag;
+      if (i_val > s_val) {
+        s_val = i_val;
+        s_src = kTraceSrcI;
+      }
+      if (d_val > s_val) {
+        s_val = d_val;
+        s_src = kTraceSrcD;
+      }
+
+      regs.s_cur[l] = s_val;
+      regs.gi_cur[l] = i_val;
+      regs.gd_cur[l] = d_val;
+      ++result.cells;
+      result.best.consider(s_val, i, j);
+      if constexpr (Census) {
+        path_mask |= 1u << make_trace(s_src, i_opened, d_opened);
+        ++active_lanes;
+      }
+      if constexpr (WantTrace) {
+        if constexpr (Banded) {
+          if (i >= band_begin && i < band_end) {
+            result.trace[std::size_t{i - band_begin} * stride + j] =
+                make_trace(s_src, i_opened, d_opened);
+          }
+        } else {
+          result.trace[std::size_t{i} * stride + j] = make_trace(s_src, i_opened, d_opened);
+        }
+      }
+      if (spill && l == last_lane) {
+        next_bound_s[i] = s_val;
+        next_bound_gi[i] = i_val;
+      }
+    };
+
+    // Anti-diagonal sweep. Step t: lane l computes row i = t - l.
+    const std::uint32_t t_end = m + lanes;  // last step computes (m, last column)
+    for (std::uint32_t t = 0; t <= t_end; ++t) {
+      std::uint32_t path_mask = 0;
+      std::uint32_t active_lanes = 0;
+      const std::uint32_t l_end = std::min(last_lane, t);  // lanes in the pipeline
+
+      // Lanes drained out of the matrix (i = t - l > m): park -inf.
+      std::uint32_t ilo = 0;
+      if (t > m) {
+        const std::uint32_t drain = std::min(t - m, l_end + 1);
+        for (std::uint32_t l = 0; l < drain; ++l) {
+          regs.s_cur[l] = kNegativeInfinity;
+          regs.gi_cur[l] = kNegativeInfinity;
+          regs.gd_cur[l] = kNegativeInfinity;
+        }
+        ilo = t - m;
+      }
+      // Interior lanes (1 <= i <= m) are [ilo, ihi).
+      const std::uint32_t ihi = std::min(l_end + 1, t);
+
+      std::uint32_t l = ilo;
+      if (l < ihi && l == 0) {
+        // Lane 0 reads the spilled boundary column — scalar.
+        scalar_lane(0, t, path_mask, active_lanes);
+        l = 1;
+      }
+      for (; l + W <= ihi; l += W) {
+        const V s_left = V::load(regs.s_p1 + l - 1);
+        const V gi_left = V::load(regs.gi_p1 + l - 1);
+        const V s_diag = V::load(regs.s_p2 + l - 1);
+        const V s_up = V::load(regs.s_p1 + l);
+        const V gd_up = V::load(regs.gd_p1 + l);
+
+        const V i_ext = simd::add_score_vec(gi_left, vext, vneg);
+        const V i_open = simd::add_score_vec(s_left, voe, vneg);
+        const V m_io = V::cmpge(i_open, i_ext);
+        const V i_val = V::blend(m_io, i_open, i_ext);
+
+        const V d_ext = simd::add_score_vec(gd_up, vext, vneg);
+        const V d_open = simd::add_score_vec(s_up, voe, vneg);
+        const V m_do = V::cmpge(d_open, d_ext);
+        const V d_val = V::blend(m_do, d_open, d_ext);
+
+        // LUT profile row picked by each lane's query code.
+        const V acode = V::load_u8(a_rev + (m + l - t));
+        V sub = V::load(prof[0] + l);
+        sub = V::blend(V::cmpeq(acode, vc1), V::load(prof[1] + l), sub);
+        sub = V::blend(V::cmpeq(acode, vc2), V::load(prof[2] + l), sub);
+        sub = V::blend(V::cmpeq(acode, vc3), V::load(prof[3] + l), sub);
+        const V diag = simd::add_score_vec(s_diag, sub, vneg);
+
+        const V m_i = V::cmpgt(i_val, diag);
+        const V s1 = V::max(i_val, diag);
+        const V m_d = V::cmpgt(d_val, s1);
+        const V s_val = V::max(d_val, s1);
+
+        s_val.store(regs.s_cur + l);
+        i_val.store(regs.gi_cur + l);
+        d_val.store(regs.gd_cur + l);
+        result.cells += W;
+
+        // Candidate lanes for the running best: >= because equal scores can
+        // still win the (i+j, i) tie-break. consider() is a total order, so
+        // resolving the rare hits scalar-side is exact in any order.
+        int best_hits = V::movemask(V::cmpge(s_val, V::broadcast(result.best.score)));
+        while (best_hits != 0) {
+          const auto k = static_cast<std::uint32_t>(__builtin_ctz(
+              static_cast<unsigned>(best_hits)));
+          best_hits &= best_hits - 1;
+          result.best.consider(regs.s_cur[l + k], t - (l + k), j_base + 1 + l + k);
+        }
+
+        if constexpr (Census || WantTrace) {
+          // Packed trace codes, straight from the decision masks:
+          // bit0 = source I (and not D), bit1 = source D, bit2/3 = opened.
+          const V code = (V::andnot(m_d, m_i) & vb0) | (m_d & vb1) |
+                         (m_io & vb2) | (m_do & vb3);
+          alignas(64) Score codes[W];
+          code.store(codes);
+          if constexpr (Census) {
+            for (std::uint32_t k = 0; k < W; ++k) {
+              path_mask |= 1u << static_cast<std::uint32_t>(codes[k]);
+            }
+            active_lanes += W;
+          }
+          if constexpr (WantTrace) {
+            for (std::uint32_t k = 0; k < W; ++k) {
+              const std::uint32_t i = t - (l + k);
+              const std::uint32_t j = j_base + 1 + l + k;
+              if constexpr (Banded) {
+                if (i < band_begin || i >= band_end) continue;
+                result.trace[std::size_t{i - band_begin} * stride + j] =
+                    static_cast<TraceCode>(codes[k]);
+              } else {
+                result.trace[std::size_t{i} * stride + j] =
+                    static_cast<TraceCode>(codes[k]);
+              }
+            }
+          }
+        }
+        if (spill && last_lane >= l && last_lane < l + W) {
+          const std::uint32_t i = t - last_lane;
+          next_bound_s[i] = regs.s_cur[last_lane];
+          next_bound_gi[i] = regs.gi_cur[last_lane];
+        }
+      }
+      for (; l < ihi; ++l) scalar_lane(l, t, path_mask, active_lanes);
+
+      // Row-0 border for this column enters the register pipeline.
+      if (t <= last_lane) {
+        const std::uint32_t bl = t;
+        const std::uint32_t j = j_base + 1 + bl;
+        const Score border_gi = params.gap_open + static_cast<Score>(j) * params.gap_extend;
+        regs.s_cur[bl] = border_gi;
+        regs.gi_cur[bl] = border_gi;
+        regs.gd_cur[bl] = kNegativeInfinity;
+        if (spill && bl == last_lane && j == boundary_col) {
+          next_bound_s[0] = border_gi;
+          next_bound_gi[0] = border_gi;
+        }
+      }
+
+      if constexpr (Census) {
+        if (active_lanes >= 2) {
+          const auto paths = static_cast<std::uint32_t>(__builtin_popcount(path_mask));
+          const std::size_t slot =
+              std::min<std::size_t>(paths, result.divergence_histogram.size()) - 1;
+          ++result.divergence_histogram[slot];
+        }
+      }
+      regs.rotate();
+      ++result.warp_steps;
+    }
+
+    if (spill) {
+      std::swap(bound_s, next_bound_s);
+      std::swap(bound_gi, next_bound_gi);
+      result.boundary_spill_bytes +=
+          std::uint64_t{m + 1} * gpusim::kBoundarySpillBytes;
+    }
+  }
+}
+
+// Runtime variant switches -> the six compile-time instantiations, shared
+// by every per-ISA entry point.
+template <class V>
+void run_strips_vec_dispatch(const StripSimdArgs& args) {
+  if (args.banded) {
+    if (args.census) {
+      run_strips_vec<V, true, true, true>(args);
+    } else {
+      run_strips_vec<V, true, false, true>(args);
+    }
+  } else if (args.want_trace) {
+    if (args.census) {
+      run_strips_vec<V, true, true, false>(args);
+    } else {
+      run_strips_vec<V, true, false, false>(args);
+    }
+  } else {
+    if (args.census) {
+      run_strips_vec<V, false, true, false>(args);
+    } else {
+      run_strips_vec<V, false, false, false>(args);
+    }
+  }
+}
+
+}  // namespace fastz::detail

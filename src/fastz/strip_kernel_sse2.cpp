@@ -1,0 +1,15 @@
+// 128-bit x86 instantiation of the vectorized strip kernel. SSE2 is part
+// of the x86-64 baseline, so this TU needs no extra compile flags.
+#include "fastz/strip_kernel_detail.hpp"
+
+#if defined(__SSE2__)
+#include "fastz/strip_kernel_simd_impl.hpp"
+
+namespace fastz::detail {
+
+void run_strips_sse2(const StripSimdArgs& args) {
+  run_strips_vec_dispatch<simd::VecSse2>(args);
+}
+
+}  // namespace fastz::detail
+#endif

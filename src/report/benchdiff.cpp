@@ -76,6 +76,15 @@ std::vector<std::pair<std::string, double>> report_metrics(const JsonValue& doc,
   return out;
 }
 
+std::string report_config_string(const JsonValue& doc, std::string_view key) {
+  if (!doc.is_object()) return {};
+  const JsonValue* config = doc.find("config");
+  if (config == nullptr || !config->is_object()) return {};
+  const JsonValue* value = config->find(key);
+  if (value == nullptr || !value->is_string()) return {};
+  return value->as_string();
+}
+
 std::size_t DiffResult::regression_count() const noexcept {
   std::size_t n = 0;
   for (const MetricDiff& d : diffs) n += d.regression ? 1 : 0;

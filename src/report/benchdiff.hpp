@@ -62,6 +62,12 @@ struct DiffResult {
 std::vector<std::pair<std::string, double>> report_metrics(
     const telemetry::JsonValue& doc, bool with_counters);
 
+// String entry of the report's "config" block, or "" when absent. Used by
+// the CLI to warn (never fail) when two reports ran on different SIMD ISAs:
+// results are bit-identical across ISAs, timings are not comparable.
+std::string report_config_string(const telemetry::JsonValue& doc,
+                                 std::string_view key);
+
 // Diffs two parsed documents under `rules`.
 DiffResult diff_reports(const telemetry::JsonValue& baseline,
                         const telemetry::JsonValue& current,

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "baseline/feng_baseline.hpp"
+#include "util/simd.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -107,6 +108,12 @@ void add_harness_config(telemetry::BenchReport& report, const HarnessOptions& op
   report.add_config("sample_seed", std::to_string(options.sample_seed));
   report.add_config("ydrop", std::to_string(options.ydrop));
   report.add_config("threads", std::to_string(resolve_thread_count(options.threads)));
+  // What the DP hot paths actually dispatched on — fastz_benchdiff warns
+  // when two reports disagree here (numbers from different ISAs are
+  // bit-identical but not timing-comparable).
+  report.add_config("simd_isa", simd::isa_name(simd::active_isa()));
+  report.add_config("simd_width", std::to_string(simd::isa_lanes(simd::active_isa())));
+  report.add_config("simd_detected", simd::isa_name(simd::detected_isa()));
 }
 
 telemetry::BenchReport breakdown_report(const std::vector<PreparedPair>& prepared,

@@ -88,6 +88,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Reports from different SIMD ISAs are bit-identical in results but not
+  // timing-comparable — warn, never fail (the numeric gates still apply).
+  const std::string baseline_isa = report_config_string(baseline, "simd_isa");
+  const std::string current_isa = report_config_string(current, "simd_isa");
+  if (!baseline_isa.empty() && !current_isa.empty() && baseline_isa != current_isa) {
+    std::cerr << "warning: SIMD ISA mismatch: baseline ran on '" << baseline_isa
+              << "', current on '" << current_isa
+              << "' — wallclock comparisons are unreliable\n";
+  }
+
   const DiffResult result = diff_reports(baseline, current, rules);
   std::cout << "baseline " << baseline_path << "\ncurrent  " << current_path << "\n";
   print_diff(std::cout, result, cli.get_bool("verbose"));

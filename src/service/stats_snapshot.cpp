@@ -7,6 +7,7 @@
 #include "gpusim/profiler.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/metrics.hpp"
+#include "util/simd.hpp"
 
 namespace fastz::service {
 
@@ -34,6 +35,15 @@ void write_stats_snapshot(std::ostream& out, const AlignmentServer& server,
   w.begin_object();
   w.field("schema", kStatsSchema);
   w.field("uptime_s", uptime_s);
+
+  // DP-kernel dispatch: which SIMD ISA the alignment hot paths run on.
+  // Snapshots from hosts with different vector widths are bit-identical in
+  // results but not comparable in throughput — dashboards key on this.
+  w.key("simd").begin_object();
+  w.field("active", simd::isa_name(simd::active_isa()));
+  w.field("detected", simd::isa_name(simd::detected_isa()));
+  w.field("width", static_cast<std::uint64_t>(simd::isa_lanes(simd::active_isa())));
+  w.end_object();
 
   w.key("queue").begin_object();
   w.field("depth", static_cast<std::uint64_t>(server.queue_depth()));

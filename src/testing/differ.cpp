@@ -10,6 +10,7 @@
 #include "fastz/strip_kernel.hpp"
 #include "multicore/multicore_lastz.hpp"
 #include "service/server.hpp"
+#include "util/simd.hpp"
 
 namespace fastz::testing {
 
@@ -139,6 +140,95 @@ void diff_one_sided_exact(DiffResult& out, const FuzzCase& c, InjectedBug bug) {
     out.expect(strip.ops == ref.ops,
                tag(c, "strip kernel cigar " + cigar_of(strip.ops) + " != reference " +
                           cigar_of(ref.ops)));
+  }
+}
+
+// ---- SIMD-vs-scalar: every vector ISA available on this host must
+// reproduce the forced-scalar DP field-for-field — best cell, cell/step
+// counts, spill bytes, divergence census, the dense trace buffer, and the
+// walked ops — across all three vectorized hot paths (strip kernel, y-drop
+// row sweep, flagged Gotoh pass). kSimdLaneGapOpen perturbs one vector lane
+// of the strip kernel's gap-open constant; the field comparison MUST catch
+// it whenever a vector ISA runs.
+void diff_simd_vs_scalar(DiffResult& out, const FuzzCase& c, InjectedBug bug) {
+  if (c.a.size() > kStripKernelMaxDim || c.b.size() > kStripKernelMaxDim) return;
+
+  const SeqView av(c.a.codes().data(), 1, c.a.size());
+  const SeqView bv(c.b.codes().data(), 1, c.b.size());
+  StripKernelOptions opts;
+  opts.want_traceback = true;
+  opts.divergence_census = true;
+
+  StripKernelResult strip_scalar;
+  OneSidedResult ydrop_scalar;
+  ReferenceResult gotoh_scalar;
+  {
+    simd::ScopedIsa force(simd::Isa::kScalar);
+    strip_scalar = strip_rectangle_dp(av, bv, c.params, opts);
+    ydrop_scalar = ydrop_one_sided_align(c.a.codes(), c.b.codes(), c.params);
+    gotoh_scalar = reference_extend(c.a.codes(), c.b.codes(), c.params,
+                                    ReferenceOptions{/*simd=*/true});
+  }
+
+  for (const simd::Isa isa : simd::available_isas()) {
+    if (isa == simd::Isa::kScalar) continue;
+    simd::ScopedIsa force(isa);
+    const std::string who = std::string("[") + simd::isa_name(isa) + "] ";
+
+    StripKernelOptions vopts = opts;
+    if (bug == InjectedBug::kSimdLaneGapOpen) {
+      vopts.simd_fault_lane = 2;
+      vopts.simd_fault_delta = 1;
+    }
+    const StripKernelResult strip = strip_rectangle_dp(av, bv, c.params, vopts);
+    out.expect(strip.best.score == strip_scalar.best.score &&
+                   strip.best.i == strip_scalar.best.i &&
+                   strip.best.j == strip_scalar.best.j,
+               tag(c, who + "strip kernel best " + cell_str(strip.best) +
+                          " != scalar " + cell_str(strip_scalar.best)));
+    out.expect(strip.cells == strip_scalar.cells &&
+                   strip.warp_steps == strip_scalar.warp_steps &&
+                   strip.strips == strip_scalar.strips,
+               tag(c, who + "strip kernel census (cells " + std::to_string(strip.cells) +
+                          ", steps " + std::to_string(strip.warp_steps) +
+                          ") != scalar (" + std::to_string(strip_scalar.cells) + ", " +
+                          std::to_string(strip_scalar.warp_steps) + ")"));
+    out.expect(strip.boundary_spill_bytes == strip_scalar.boundary_spill_bytes,
+               tag(c, who + "strip kernel spilled " +
+                          std::to_string(strip.boundary_spill_bytes) +
+                          " boundary bytes != scalar " +
+                          std::to_string(strip_scalar.boundary_spill_bytes)));
+    out.expect(strip.divergence_histogram == strip_scalar.divergence_histogram,
+               tag(c, who + "strip kernel divergence histogram != scalar"));
+    out.expect(strip.trace == strip_scalar.trace,
+               tag(c, who + "strip kernel trace buffer != scalar"));
+    out.expect(strip.ops == strip_scalar.ops,
+               tag(c, who + "strip kernel cigar " + cigar_of(strip.ops) +
+                          " != scalar " + cigar_of(strip_scalar.ops)));
+
+    const OneSidedResult ydrop =
+        ydrop_one_sided_align(c.a.codes(), c.b.codes(), c.params);
+    out.expect(ydrop.best.score == ydrop_scalar.best.score &&
+                   ydrop.best.i == ydrop_scalar.best.i &&
+                   ydrop.best.j == ydrop_scalar.best.j,
+               tag(c, who + "y-drop best " + cell_str(ydrop.best) + " != scalar " +
+                          cell_str(ydrop_scalar.best)));
+    out.expect(ydrop.cells == ydrop_scalar.cells,
+               tag(c, who + "y-drop explored " + std::to_string(ydrop.cells) +
+                          " cells != scalar " + std::to_string(ydrop_scalar.cells)));
+    out.expect(ydrop.ops == ydrop_scalar.ops,
+               tag(c, who + "y-drop cigar " + cigar_of(ydrop.ops) + " != scalar " +
+                          cigar_of(ydrop_scalar.ops)));
+
+    const ReferenceResult gotoh = reference_extend(
+        c.a.codes(), c.b.codes(), c.params, ReferenceOptions{/*simd=*/true});
+    out.expect(gotoh.best.score == gotoh_scalar.best.score &&
+                   gotoh.best.i == gotoh_scalar.best.i &&
+                   gotoh.best.j == gotoh_scalar.best.j,
+               tag(c, who + "gotoh reference best " + cell_str(gotoh.best) +
+                          " != scalar " + cell_str(gotoh_scalar.best)));
+    out.expect(gotoh.ops == gotoh_scalar.ops && gotoh.cells == gotoh_scalar.cells,
+               tag(c, who + "gotoh reference trace/cells != scalar"));
   }
 }
 
@@ -429,6 +519,7 @@ const char* bug_name(InjectedBug bug) noexcept {
     case InjectedBug::kDropOp: return "drop-op";
     case InjectedBug::kScoreOffByOne: return "score-off-by-one";
     case InjectedBug::kHirschbergSplit: return "hirschberg-split-off-by-one";
+    case InjectedBug::kSimdLaneGapOpen: return "simd-lane-gap-open";
   }
   return "unknown";
 }
@@ -439,9 +530,11 @@ InjectedBug parse_bug(std::string_view name) {
   if (name == "drop-op") return InjectedBug::kDropOp;
   if (name == "score-off-by-one") return InjectedBug::kScoreOffByOne;
   if (name == "hirschberg-split-off-by-one") return InjectedBug::kHirschbergSplit;
+  if (name == "simd-lane-gap-open") return InjectedBug::kSimdLaneGapOpen;
   throw std::invalid_argument(
       "parse_bug: unknown bug '" + std::string(name) +
-      "' (none|gap-extend|drop-op|score-off-by-one|hirschberg-split-off-by-one)");
+      "' (none|gap-extend|drop-op|score-off-by-one|hirschberg-split-off-by-one|"
+      "simd-lane-gap-open)");
 }
 
 DiffResult diff_case(const FuzzCase& c, InjectedBug bug) {
@@ -452,6 +545,7 @@ DiffResult diff_case(const FuzzCase& c, InjectedBug bug) {
     case CaseKind::kHomopolymer:
     case CaseKind::kLowComplexity:
       diff_one_sided_exact(out, c, bug);
+      diff_simd_vs_scalar(out, c, bug);
       break;
     case CaseKind::kBinBoundary:
       diff_pruned(out, c, bug);

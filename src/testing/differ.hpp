@@ -44,12 +44,19 @@ enum class InjectedBug : std::uint8_t {
   // — the canonical split-stitching defect the linear-space differ checks
   // must catch.
   kHirschbergSplit,
+  // One vector lane of the strip kernel's gap-open+extend constant is off
+  // by one (StripKernelOptions::simd_fault_lane) — a lane-local SIMD defect
+  // invisible to whole-result plausibility checks. The simd-vs-scalar sweep
+  // MUST catch it on any host with a vector ISA; scalar-only hosts cannot
+  // express it (the scalar path ignores the fault), so the canary test is
+  // registered only on SSE2/NEON builds.
+  kSimdLaneGapOpen,
 };
 
 const char* bug_name(InjectedBug bug) noexcept;
 // Parses "none" / "gap-extend" / "drop-op" / "score-off-by-one" /
-// "hirschberg-split-off-by-one". Throws std::invalid_argument on anything
-// else.
+// "hirschberg-split-off-by-one" / "simd-lane-gap-open". Throws
+// std::invalid_argument on anything else.
 InjectedBug parse_bug(std::string_view name);
 
 struct DiffResult {

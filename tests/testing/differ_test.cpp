@@ -110,7 +110,8 @@ TEST(Differ, DiffIsDeterministic) {
 TEST(Differ, BugNamesRoundTrip) {
   for (InjectedBug bug :
        {InjectedBug::kNone, InjectedBug::kGapExtend, InjectedBug::kDropOp,
-        InjectedBug::kScoreOffByOne, InjectedBug::kHirschbergSplit}) {
+        InjectedBug::kScoreOffByOne, InjectedBug::kHirschbergSplit,
+        InjectedBug::kSimdLaneGapOpen}) {
     EXPECT_EQ(parse_bug(testing::bug_name(bug)), bug);
   }
   EXPECT_THROW(parse_bug("offby2"), std::invalid_argument);
