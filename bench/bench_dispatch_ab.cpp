@@ -1,0 +1,190 @@
+// Legacy-vs-batched dispatch A/B on the fig7/fig9 workloads.
+//
+// The batched dispatcher (gpusim/batch_scheduler.hpp + the kBatched derive
+// arm) claims three modeled wins over the historical per-chunk / per-bin
+// dispatch: fewer, larger launches; an LPT-balanced schedule; and
+// inspector/executor overlap on persistently-fed streams instead of a
+// phase barrier. This bench derives both arms from the SAME functional
+// pass, verifies they agree on everything functional (census, task and
+// cell totals — exit 2 on divergence), and reports the ratios the CI
+// dispatch-smoke gate pins (bench/baselines/BENCH_dispatch_smoke.json):
+//
+//   dispatch.makespan_gain    legacy modeled total / batched modeled total
+//   dispatch.launch_reduction legacy launches / batched launches
+//   dispatch.balance_gain     batched-without-LPT total / batched total
+//   dispatch.imbalance_gain   legacy mean load imbalance / batched
+//
+// All four are ratios of deterministic modeled quantities, so they cancel
+// host speed; higher is better, and fastz_benchdiff's default
+// higher-is-better rule guards them. Host wallclocks are exported as
+// *_wallclock_s for information only (gate runs --ignore wallclock).
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fastz/fastz_pipeline.hpp"
+#include "gpusim/profiler.hpp"
+#include "report/experiment.hpp"
+#include "report/profile.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace fastz;
+
+namespace {
+
+bool same_functional_outcome(const FastzRun& a, const FastzRun& b) {
+  if (a.census.total != b.census.total || a.census.eager != b.census.eager ||
+      a.census.overflow != b.census.overflow || a.census.bins != b.census.bins) {
+    return false;
+  }
+  return a.seeds == b.seeds && a.eager_handled == b.eager_handled &&
+         a.executor_tasks == b.executor_tasks &&
+         a.hirschberg_tasks == b.hirschberg_tasks &&
+         a.inspector_cells == b.inspector_cells &&
+         a.executor_cells == b.executor_cells;
+}
+
+double mean_imbalance(const FastzStudy& study, const FastzConfig& config,
+                      const gpusim::DeviceSpec& device) {
+  gpusim::ProfilerSession session;
+  {
+    const gpusim::ScopedProfiler scoped(session);
+    (void)study.derive(config, device);
+  }
+  return summarize_profile(session).mean_load_imbalance;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("Legacy-vs-batched dispatch A/B: modeled makespan, launch "
+                "counts, balance, and load imbalance on the fig7 workloads.");
+  add_harness_flags(cli);
+  cli.add_flag("pairs", "benchmark pairs to run (0 = all nine)", "2");
+  cli.add_flag("repeats", "interleaved wallclock repeats per arm", "3");
+  cli.add_flag("json", "write a BenchReport JSON to this path (empty: skip)", "");
+  if (!cli.parse(argc, argv)) return 0;
+  const HarnessOptions options = harness_options_from(cli);
+  const std::size_t pair_count = static_cast<std::size_t>(cli.get_int("pairs"));
+  const std::size_t repeats =
+      cli.get_int("repeats") > 0 ? static_cast<std::size_t>(cli.get_int("repeats")) : 1;
+  const bool quiet = cli.get_bool("quiet");
+  const std::string json_path = cli.get("json");
+
+  std::vector<BenchmarkPair> specs = same_genus_pairs(options.scale);
+  if (pair_count > 0 && pair_count < specs.size()) specs.resize(pair_count);
+  const std::vector<PreparedPair> prepared =
+      prepare_pairs(specs, harness_score_params(options), options);
+  const gpusim::DeviceSpec ampere = default_devices().ampere;
+
+  const FastzConfig legacy_config = FastzConfig::legacy_dispatch();
+  const FastzConfig batched_config = FastzConfig::full();
+  FastzConfig unbalanced_config = FastzConfig::full();
+  unbalanced_config.batch_balance = false;
+
+  telemetry::BenchReport report("dispatch_ab");
+  report.add_config("device", ampere.name);
+  add_harness_config(report, options);
+
+  TextTable t({"Benchmark", "Legacy (ms)", "Batched (ms)", "Gain",
+               "Launches L/B", "Reduction", "Balance", "Imb gain"});
+  std::vector<double> makespan_gains, launch_reductions, balance_gains,
+      imbalance_gains;
+  bool diverged = false;
+  for (const PreparedPair& pair : prepared) {
+    const FastzStudy& study = *pair.study;
+    const FastzRun legacy = study.derive(legacy_config, ampere);
+    const FastzRun batched = study.derive(batched_config, ampere);
+    const FastzRun unbalanced = study.derive(unbalanced_config, ampere);
+    if (!same_functional_outcome(legacy, batched) ||
+        !same_functional_outcome(legacy, unbalanced)) {
+      std::cerr << "DIVERGENCE: dispatch arms disagree on functional totals "
+                   "for "
+                << pair.spec.label << "\n";
+      diverged = true;
+      continue;
+    }
+
+    const std::uint64_t legacy_launches =
+        legacy.inspector_launches + legacy.executor_kernels;
+    const std::uint64_t batched_launches =
+        batched.inspector_launches + batched.executor_kernels;
+    const double makespan_gain = legacy.modeled.total_s() / batched.modeled.total_s();
+    const double launch_reduction =
+        static_cast<double>(legacy_launches) / static_cast<double>(batched_launches);
+    const double balance_gain =
+        unbalanced.modeled.total_s() / batched.modeled.total_s();
+    const double imbalance_gain = mean_imbalance(study, legacy_config, ampere) /
+                                  mean_imbalance(study, batched_config, ampere);
+    makespan_gains.push_back(makespan_gain);
+    launch_reductions.push_back(launch_reduction);
+    balance_gains.push_back(balance_gain);
+    imbalance_gains.push_back(imbalance_gain);
+
+    // Interleaved host-wallclock repeats (informational: the gate ignores
+    // *wallclock*). Alternating arm order cancels machine-wide drift.
+    double legacy_wall = 0.0, batched_wall = 0.0;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      Timer timer;
+      (void)study.derive(legacy_config, ampere);
+      const double lw = timer.elapsed_s();
+      timer.reset();
+      (void)study.derive(batched_config, ampere);
+      const double bw = timer.elapsed_s();
+      if (r == 0 || lw < legacy_wall) legacy_wall = lw;
+      if (r == 0 || bw < batched_wall) batched_wall = bw;
+    }
+
+    const std::string& label = pair.spec.label;
+    report.add_metric(label + ".makespan_gain", makespan_gain);
+    report.add_metric(label + ".launch_reduction", launch_reduction);
+    report.add_metric(label + ".balance_gain", balance_gain);
+    report.add_metric(label + ".imbalance_gain", imbalance_gain);
+    report.add_stage(label + ".legacy_modeled", legacy.modeled.total_s());
+    report.add_stage(label + ".batched_modeled", batched.modeled.total_s());
+    report.add_counter(label + ".legacy_launches", legacy_launches);
+    report.add_counter(label + ".batched_launches", batched_launches);
+    report.add_counter(label + ".seeds", study.seeds());
+    report.add_metric(label + ".legacy_derive_wallclock_s", legacy_wall);
+    report.add_metric(label + ".batched_derive_wallclock_s", batched_wall);
+
+    t.add_row({label, TextTable::num(legacy.modeled.total_s() * 1e3, 3),
+               TextTable::num(batched.modeled.total_s() * 1e3, 3),
+               TextTable::num(makespan_gain, 3) + "x",
+               TextTable::num(legacy_launches) + "/" +
+                   TextTable::num(batched_launches),
+               TextTable::num(launch_reduction, 1) + "x",
+               TextTable::num(balance_gain, 3) + "x",
+               TextTable::num(imbalance_gain, 2) + "x"});
+  }
+  if (diverged) return 2;
+
+  report.add_metric("dispatch.makespan_gain", geometric_mean(makespan_gains));
+  report.add_metric("dispatch.launch_reduction", geometric_mean(launch_reductions));
+  report.add_metric("dispatch.balance_gain", geometric_mean(balance_gains));
+  report.add_metric("dispatch.imbalance_gain", geometric_mean(imbalance_gains));
+
+  if (!quiet) {
+    std::cout << "=== Dispatch A/B: legacy per-chunk/per-bin vs batched "
+                 "cross-seed (Ampere) ===\n";
+    t.render(std::cout);
+    std::cout << "geomean: makespan gain " << TextTable::num(geometric_mean(makespan_gains), 3)
+              << "x, launch reduction " << TextTable::num(geometric_mean(launch_reductions), 1)
+              << "x, balance gain " << TextTable::num(geometric_mean(balance_gains), 3)
+              << "x, imbalance gain " << TextTable::num(geometric_mean(imbalance_gains), 2)
+              << "x\n";
+  }
+  if (!json_path.empty()) {
+    if (report.write_file(json_path)) {
+      std::cout << "wrote " << json_path << "\n";
+    } else {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -9,7 +9,9 @@
 // Per-benchmark stage times are persisted as a BenchReport
 // (BENCH_fig8.json); with --trace the run also emits a Chrome trace.
 #include <iostream>
+#include <string>
 
+#include "gpusim/profiler.hpp"
 #include "report/experiment.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/telemetry.hpp"
@@ -17,6 +19,24 @@
 #include "util/table.hpp"
 
 using namespace fastz;
+
+namespace {
+
+// Span-weighted mean load-imbalance factor of the session's kernels in one
+// pipeline phase (1.0 = perfectly balanced SMs).
+double phase_imbalance(const gpusim::ProfilerSession& session,
+                       const std::string& phase) {
+  double weighted = 0.0, span = 0.0;
+  for (const gpusim::KernelProfile& k : session.kernels()) {
+    if (k.tag.phase != phase) continue;
+    const double w = k.end_s - k.start_s;
+    weighted += k.counters.load_imbalance() * w;
+    span += w;
+  }
+  return span > 0.0 ? weighted / span : 1.0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli("Figure 8 — FastZ execution-time breakdown "
@@ -40,22 +60,52 @@ int main(int argc, char** argv) {
   const FastzConfig config = FastzConfig::full();
 
   std::cout << "=== Figure 8: execution time breakdown (Ampere GPU) ===\n";
-  TextTable t({"Benchmark", "Inspector", "Executor", "Other", "Total (ms)", ""});
+  // Each pair derives under its own ProfilerSession: the dispatch telemetry
+  // (launch counts, per-phase load imbalance) rides on the recorded kernel
+  // tags. Profiling does not perturb the modeled costs (pinned by
+  // Dispatch.ProfiledBatchedRunModelsIdenticalCosts).
+  TextTable t({"Benchmark", "Inspector", "Executor", "Other", "Total (ms)",
+               "Launches", "Imb I", "Imb E", ""});
+  struct DispatchStats {
+    std::string label;
+    std::uint64_t launches = 0;
+    double imbalance_inspector = 1.0;
+    double imbalance_executor = 1.0;
+  };
+  std::vector<DispatchStats> dispatch_stats;
   for (const PreparedPair& pair : prepared) {
-    const FastzRun run = pair.study->derive(config, ampere);
+    gpusim::ProfilerSession session;
+    FastzRun run;
+    {
+      const gpusim::ScopedProfiler scoped(session);
+      run = pair.study->derive(config, ampere);
+    }
     const double total = run.modeled.total_s();
     const double fi = run.modeled.inspector_s / total;
     const double fe = run.modeled.executor_s / total;
     const double fo = run.modeled.other_s / total;
+    DispatchStats stats;
+    stats.label = pair.spec.label;
+    stats.launches = run.inspector_launches + run.executor_kernels;
+    stats.imbalance_inspector = phase_imbalance(session, "inspector");
+    stats.imbalance_executor = phase_imbalance(session, "executor");
+    dispatch_stats.push_back(stats);
     t.add_row({pair.spec.label, TextTable::num(fi * 100, 1) + "%",
                TextTable::num(fe * 100, 1) + "%", TextTable::num(fo * 100, 1) + "%",
-               TextTable::num(total * 1e3, 2),
+               TextTable::num(total * 1e3, 2), TextTable::num(stats.launches),
+               TextTable::num(stats.imbalance_inspector, 2),
+               TextTable::num(stats.imbalance_executor, 2),
                ascii_bar(fi, 30) + "|" + ascii_bar(fe, 30) + "|" + ascii_bar(fo, 30)});
   }
   t.render(std::cout, csv);
 
   if (!json_path.empty()) {
     telemetry::BenchReport report = breakdown_report(prepared, config, ampere);
+    for (const DispatchStats& s : dispatch_stats) {
+      report.add_metric(s.label + ".launches", static_cast<double>(s.launches));
+      report.add_metric(s.label + ".load_imbalance_inspector", s.imbalance_inspector);
+      report.add_metric(s.label + ".load_imbalance_executor", s.imbalance_executor);
+    }
     add_harness_config(report, options);
     report.add_registry_counters(telemetry::MetricsRegistry::global());
     if (report.write_file(json_path)) {

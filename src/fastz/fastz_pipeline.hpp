@@ -52,7 +52,10 @@ struct FastzRun {
   std::uint64_t seeds = 0;
   std::uint64_t eager_handled = 0;    // seeds finished by eager traceback
   std::uint64_t executor_tasks = 0;
-  std::uint64_t executor_kernels = 0;  // bin kernels after memory batching
+  // Executor kernel launches: legacy dispatch = bin kernels after memory
+  // batching; batched dispatch = packed cross-bin launches.
+  std::uint64_t executor_kernels = 0;
+  std::uint64_t inspector_launches = 0;  // inspector kernel launches
   std::uint64_t inspector_cells = 0;  // search-space cells (conservative y-drop)
   std::uint64_t executor_cells = 0;   // cells the executor recomputed
   std::uint64_t hirschberg_tasks = 0;  // executor tasks on the linear path

@@ -324,4 +324,139 @@ KernelCost KernelSimulator::run_streamed(const std::vector<std::vector<WarpTask>
   return total;
 }
 
+KernelCost KernelSimulator::run_contended(const std::vector<std::vector<WarpTask>>& chunks,
+                                          std::span<const std::uint32_t> groups,
+                                          std::uint32_t streams,
+                                          std::span<const KernelTag> tags) const {
+  bool contended = false;
+  if (streams > 1 && groups.size() == chunks.size()) {
+    std::vector<std::uint32_t> seen(groups.begin(), groups.end());
+    std::sort(seen.begin(), seen.end());
+    contended = std::adjacent_find(seen.begin(), seen.end()) != seen.end();
+  }
+  if (!contended) return run_streamed(chunks, streams, tags);
+
+  // A split bin's batches reuse one allocation and must retire in turn;
+  // express that as dependency chains per group and let the pipeline
+  // scheduler overlap everything else. Unlimited budget: the chains *are*
+  // the memory constraint here.
+  std::vector<StreamLaunch> launches(chunks.size());
+  std::vector<std::uint32_t> last_of_group;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    launches[i].tasks = chunks[i];
+    const std::uint32_t g = groups[i];
+    if (g >= last_of_group.size()) last_of_group.resize(g + 1, UINT32_MAX);
+    if (last_of_group[g] != UINT32_MAX) launches[i].deps.push_back(last_of_group[g]);
+    last_of_group[g] = static_cast<std::uint32_t>(i);
+  }
+  return run_pipeline(launches, streams, 0, tags).total;
+}
+
+PipelineRun KernelSimulator::run_pipeline(std::span<const StreamLaunch> launches,
+                                          std::uint32_t streams,
+                                          std::uint64_t memory_budget,
+                                          std::span<const KernelTag> tags) const {
+  streams = std::max<std::uint32_t>(streams, 1);
+  ProfilerSession* const session = ProfilerSession::active();
+  const std::size_t n = launches.size();
+
+  PipelineRun run;
+  run.launches.reserve(n);
+  run.start_s.resize(n, 0.0);
+  run.end_s.resize(n, 0.0);
+  if (n == 0) return run;
+
+  std::vector<HwCounters> counters(session != nullptr ? n : 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    run.launches.push_back(
+        simulate(launches[i].tasks, session != nullptr ? &counters[i] : nullptr));
+    if (telemetry::enabled()) record_kernel_cost(run.launches[i]);
+  }
+
+  // Greedy placement in launch order: earliest-free lane (lowest index on
+  // ties), gated by dependency ends and by memory admission — a launch
+  // whose allocation does not fit waits for the earliest-ending resident
+  // launches to retire. Deterministic throughout.
+  std::vector<double> lane_free(streams, 0.0);
+  std::vector<std::uint32_t> lane_of(n, 0);
+  using Active = std::pair<double, std::uint64_t>;  // (end time, resident bytes)
+  std::priority_queue<Active, std::vector<Active>, std::greater<>> active;
+  std::uint64_t resident = 0;
+  double makespan = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t lane = 0;
+    for (std::uint32_t l = 1; l < streams; ++l) {
+      if (lane_free[l] < lane_free[lane]) lane = l;
+    }
+    double start = lane_free[lane];
+    for (const std::uint32_t d : launches[i].deps) {
+      start = std::max(start, run.end_s[d]);
+    }
+    if (memory_budget > 0) {
+      while (!active.empty() && active.top().first <= start) {
+        resident -= active.top().second;
+        active.pop();
+      }
+      while (resident + launches[i].resident_bytes > memory_budget && !active.empty()) {
+        start = std::max(start, active.top().first);
+        resident -= active.top().second;
+        active.pop();
+      }
+    }
+    const double end = start + run.launches[i].time_s;
+    lane_free[lane] = end;
+    lane_of[i] = lane;
+    run.start_s[i] = start;
+    run.end_s[i] = end;
+    makespan = std::max(makespan, end);
+    if (memory_budget > 0) {
+      active.push({end, launches[i].resident_bytes});
+      resident += launches[i].resident_bytes;
+    }
+    run.total.tasks += run.launches[i].tasks;
+    run.total.warp_instructions += run.launches[i].warp_instructions;
+    run.total.mem_bytes += run.launches[i].mem_bytes;
+    run.total.launch_overhead_s += run.launches[i].launch_overhead_s;
+  }
+
+  // Device-wide capacity floors: the lanes overlap launches, but one device
+  // still co-issues at most its sustained instruction throughput and moves
+  // at most its sustained bandwidth. When a floor binds, stretch the whole
+  // schedule uniformly so the intervals stay consistent with the makespan.
+  run.total.compute_time_s =
+      static_cast<double>(run.total.warp_instructions) * spec_.divergence_derate /
+      spec_.sustained_warp_issue_per_s();
+  run.total.memory_time_s =
+      static_cast<double>(run.total.mem_bytes) / spec_.sustained_bandwidth_bytes_per_s();
+  const double target =
+      std::max({makespan, run.total.compute_time_s, run.total.memory_time_s});
+  run.total.time_s = target;
+  const double scale = makespan > 0.0 ? target / makespan : 1.0;
+  if (scale != 1.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      run.start_s[i] *= scale;
+      run.end_s[i] *= scale;
+    }
+  }
+
+  if (session != nullptr) {
+    const double base = session->now_s();
+    for (std::size_t i = 0; i < n; ++i) {
+      KernelProfile profile;
+      if (!tags.empty()) profile.tag = tags.size() == 1 ? tags.front() : tags[i];
+      if (tags.size() == 1 && i > 0) profile.tag.traffic = MemoryLedger{};
+      profile.tag.stream = lane_of[i];
+      profile.cost = run.launches[i];
+      profile.counters = std::move(counters[i]);
+      profile.counters.traffic = profile.tag.traffic;
+      profile.start_s = base + run.start_s[i];
+      profile.end_s = base + run.end_s[i];
+      record_profiled_launch(profile);
+      session->record(std::move(profile));
+    }
+    session->advance(run.total.time_s);
+  }
+  return run;
+}
+
 }  // namespace fastz::gpusim

@@ -47,6 +47,28 @@ struct KernelCost {
   bool memory_bound() const noexcept { return memory_time_s > compute_time_s; }
 };
 
+// One launch of a persistently-fed stream schedule (run_pipeline): its task
+// list, the device allocation it holds while in flight, and the indices of
+// earlier launches that must retire before it may start (the batched
+// dispatcher chains each executor launch after the inspector launch that
+// produced its seeds). Tags ride in a separate span, like run_streamed's.
+struct StreamLaunch {
+  std::vector<WarpTask> tasks;
+  std::uint64_t resident_bytes = 0;
+  std::vector<std::uint32_t> deps;
+};
+
+// Result of run_pipeline: the end-to-end cost plus each launch's standalone
+// cost and its interval on the modeled timeline (seconds from the call's
+// start, already rescaled when a device-capacity roofline stretched the
+// schedule). The caller splits phase times from the intervals.
+struct PipelineRun {
+  KernelCost total;                   // time_s = modeled end-to-end makespan
+  std::vector<KernelCost> launches;   // standalone per-launch costs
+  std::vector<double> start_s;
+  std::vector<double> end_s;
+};
+
 class KernelSimulator {
  public:
   explicit KernelSimulator(DeviceSpec spec) : spec_(std::move(spec)) {}
@@ -74,6 +96,32 @@ class KernelSimulator {
                           std::uint32_t streams) const;
   KernelCost run_streamed(const std::vector<std::vector<WarpTask>>& chunks,
                           std::uint32_t streams, std::span<const KernelTag> tags) const;
+
+  // run_streamed with per-chunk contention groups: chunks sharing a group
+  // id contend for the same allocation budget and serialize against each
+  // other; chunks in different groups overlap across streams as usual.
+  // With no duplicated group id (or one stream) this is exactly
+  // run_streamed — the legacy dispatch path stays bit-identical when the
+  // memory batcher did not split any bin.
+  KernelCost run_contended(const std::vector<std::vector<WarpTask>>& chunks,
+                           std::span<const std::uint32_t> groups,
+                           std::uint32_t streams,
+                           std::span<const KernelTag> tags) const;
+
+  // Persistently-fed stream schedule over whole launches: each launch is
+  // costed standalone (its own bulk-synchronous tail and launch overhead)
+  // and greedily placed on the earliest-free of `streams` lanes, no earlier
+  // than its dependencies' ends, and no earlier than the point where the
+  // still-resident launches leave `memory_budget` room for its allocation
+  // (0 = unlimited). Device-wide capacity floors (sustained issue
+  // throughput, memory bandwidth over the aggregate work) then stretch the
+  // schedule uniformly when the lanes alone would exceed what one device
+  // can co-issue. Tags follow run_streamed's convention (empty / shared /
+  // per-launch); stream ids are overwritten with the assigned lane. The
+  // profiled and unprofiled paths model identical costs.
+  PipelineRun run_pipeline(std::span<const StreamLaunch> launches,
+                           std::uint32_t streams, std::uint64_t memory_budget,
+                           std::span<const KernelTag> tags = {}) const;
 
   // Execution slots the schedule distributes tasks over.
   std::uint32_t slot_count() const noexcept {

@@ -42,6 +42,13 @@ struct MemoryLedger {
   // checkpoints, O(n + m) per task. This is the number the linear-space
   // path exists to shrink.
   std::uint64_t traceback_resident_bytes = 0;
+  // Device-resident sequence staging of the batched dispatcher: the bases a
+  // packed launch keeps staged while it runs, doubled when the scheduler
+  // double-buffers so the next launch's sequences upload under the current
+  // one. High-water footprint of one derive (an allocation, not traffic —
+  // hence not in device_bytes()); merge() sums footprints like
+  // traceback_resident_bytes.
+  std::uint64_t staging_buffer_bytes = 0;
 
   std::uint64_t device_bytes() const noexcept {
     return score_read_bytes + score_write_bytes + boundary_spill_bytes +
@@ -80,6 +87,7 @@ struct MemoryLedger {
     register_elided_bytes += other.register_elided_bytes;
     shared_staged_bytes += other.shared_staged_bytes;
     traceback_resident_bytes += other.traceback_resident_bytes;
+    staging_buffer_bytes += other.staging_buffer_bytes;
   }
 };
 

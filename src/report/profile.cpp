@@ -33,6 +33,7 @@ void write_ledger(telemetry::JsonWriter& w, const gpusim::MemoryLedger& t) {
   w.field("host_copy_bytes", t.host_copy_bytes);
   w.field("register_elided_bytes", t.register_elided_bytes);
   w.field("shared_staged_bytes", t.shared_staged_bytes);
+  w.field("staging_buffer_bytes", t.staging_buffer_bytes);
   // Derived per-level view, denormalized so consumers need no ledger math.
   w.field("materialized_score_bytes", t.materialized_score_bytes());
   w.field("l2_bytes", t.l2_bytes());

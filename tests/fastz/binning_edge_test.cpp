@@ -119,13 +119,16 @@ std::pair<Sequence, Sequence> island_pair(std::size_t length, std::size_t island
 
 TEST(BinningEdges, EmptyBinsReachTheExecutorWithoutKernels) {
   // Island-sized homologies only: bins 2/3/overflow must stay empty, and
-  // the executor must launch kernels only for the populated bins.
+  // the legacy per-bin dispatch must launch kernels only for the populated
+  // bins. The batched dispatch packs cross-bin, so its invariant is a
+  // launch count bounded by the chunk structure instead.
   auto [a, b] = island_pair(6000, 250, 0x10ed);
   ScoreParams p = lastz_default_params();
   p.ydrop = 1500;
   const FastzStudy study(a, b, p);
   ASSERT_GT(study.seeds(), 0u);
-  const FastzRun run = study.derive(FastzConfig::full(), gpusim::rtx3080_ampere());
+  const FastzRun run =
+      study.derive(FastzConfig::legacy_dispatch(), gpusim::rtx3080_ampere());
   EXPECT_EQ(run.census.bins[2], 0u);
   EXPECT_EQ(run.census.bins[3], 0u);
   EXPECT_EQ(run.census.overflow, 0u);
@@ -134,6 +137,16 @@ TEST(BinningEdges, EmptyBinsReachTheExecutorWithoutKernels) {
   EXPECT_LE(run.executor_kernels, populated);
   // Eager seeds never create executor tasks.
   EXPECT_EQ(run.census.total, run.eager_handled + run.executor_tasks);
+
+  // Batched arm: at most one dense and one Hirschberg launch per inspector
+  // chunk at this scale (nothing splits on a 10 GB budget), identical census.
+  const FastzConfig batched = FastzConfig::full();
+  const FastzRun packed = study.derive(batched, gpusim::rtx3080_ampere());
+  EXPECT_LE(packed.executor_kernels,
+            std::uint64_t{batched.batch_inspector_launches} * 2);
+  EXPECT_LE(packed.inspector_launches, batched.batch_inspector_launches);
+  EXPECT_EQ(packed.census.total, run.census.total);
+  EXPECT_EQ(packed.executor_tasks, run.executor_tasks);
 }
 
 TEST(BinningEdges, DisablingEagerPushesTileSeedsIntoBinZeroKernels) {
